@@ -1,0 +1,33 @@
+//! Messages used by the baseline algorithms.
+//!
+//! Unlike the FTGCS pulses, baselines send explicit clock values — they are
+//! *not* designed for Byzantine settings, which is exactly the weakness the
+//! comparison experiments expose.
+
+/// A baseline protocol message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaseMsg {
+    /// Tree synchronization: the sender's logical clock at send time,
+    /// propagated from the root downwards.
+    Beacon {
+        /// Sender's logical clock value when the beacon left.
+        value: f64,
+    },
+    /// GCS baseline: a periodic clock report to all neighbors.
+    ClockReport {
+        /// Sender's (claimed) logical clock value at send time.
+        value: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_copyable_and_small() {
+        assert!(std::mem::size_of::<BaseMsg>() <= 16);
+        let m = BaseMsg::Beacon { value: 1.5 };
+        assert_eq!(m, m);
+    }
+}

@@ -1,0 +1,23 @@
+//! Criterion bench: trimmed-midpoint approximate agreement cost
+//! (Algorithm 1 line 12) as a function of cluster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftgcs::agreement::trimmed_midpoint;
+use ftgcs_sim::rng::SimRng;
+use std::hint::black_box;
+
+fn bench_trimmed_midpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trimmed_midpoint");
+    for f in [1usize, 2, 4, 8, 16, 32] {
+        let k = 3 * f + 1;
+        let mut rng = SimRng::seed_from(1);
+        let obs: Vec<f64> = (0..k).map(|_| rng.uniform(-1e-3, 1e-3)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &obs, |b, obs| {
+            b.iter(|| trimmed_midpoint(black_box(obs), black_box(f)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trimmed_midpoint);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: cost of simulating one second of ClusterSync as a
+//! function of cluster size `k = 3f+1` (a single cluster, no gradient
+//! layer work beyond the constant-time trigger checks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftgcs::params::Params;
+use ftgcs::runner::Scenario;
+use ftgcs_topology::{generators, ClusterGraph};
+use std::hint::black_box;
+
+fn bench_cluster_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_simulated_second");
+    group.sample_size(10);
+    for f in [1usize, 2, 4, 8] {
+        let params = Params::practical(1e-4, 1e-3, 1e-4, f).expect("feasible");
+        let k = params.cluster_size;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &f, |b, &_f| {
+            b.iter(|| {
+                let cg = ClusterGraph::new(generators::line(1), params.cluster_size, params.f);
+                let mut scenario = Scenario::new(cg, params.clone());
+                scenario.seed(3).max_estimator(false).sample_interval(None);
+                let run = scenario.run_for(1.0);
+                black_box(run.stats.events)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_second);
+criterion_main!(benches);

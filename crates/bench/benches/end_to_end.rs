@@ -1,0 +1,39 @@
+//! Criterion bench: cost of one simulated second of the full FTGCS
+//! stack (cluster layer + estimators + triggers + max estimator) as a
+//! function of topology size and shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftgcs::params::Params;
+use ftgcs::runner::Scenario;
+use ftgcs_topology::{generators, ClusterGraph, Graph};
+use std::hint::black_box;
+
+fn topologies() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("line(4)", generators::line(4)),
+        ("line(16)", generators::line(16)),
+        ("grid(4x4)", generators::grid(4, 4)),
+        ("ring(16)", generators::ring(16)),
+    ]
+}
+
+fn bench_full_stack_second(c: &mut Criterion) {
+    let params = Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible");
+    let mut group = c.benchmark_group("ftgcs_simulated_second");
+    group.sample_size(10);
+    for (name, base) in topologies() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &base, |b, base| {
+            b.iter(|| {
+                let cg = ClusterGraph::new(base.clone(), params.cluster_size, params.f);
+                let mut scenario = Scenario::new(cg, params.clone());
+                scenario.seed(4).sample_interval(None);
+                let run = scenario.run_for(1.0);
+                black_box(run.stats.events)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_stack_second);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion bench: discrete-event engine throughput — timer storms and
+//! message floods on the raw substrate, independent of the algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftgcs_baselines::{build_free_run_sim, BaseMsg};
+use ftgcs_sim::clock::RateModel;
+use ftgcs_sim::engine::{SimBuilder, SimConfig};
+use ftgcs_sim::network::{DelayConfig, DelayDistribution};
+use ftgcs_sim::node::{Behavior, NodeId, TimerTag, TrackId};
+use ftgcs_sim::engine::Ctx;
+use ftgcs_sim::time::{SimDuration, SimTime};
+use ftgcs_topology::generators;
+use std::hint::black_box;
+
+fn config(sampling: bool) -> SimConfig {
+    SimConfig {
+        delay: DelayConfig::new(
+            SimDuration::from_millis(1.0),
+            SimDuration::from_micros(100.0),
+            DelayDistribution::Uniform,
+        ),
+        rho: 1e-4,
+        rate_model: RateModel::RandomConstant,
+        seed: 9,
+        sample_interval: sampling.then(|| SimDuration::from_millis(10.0)),
+    }
+}
+
+/// A node that broadcasts a beacon every `period` logical seconds,
+/// flooding the network with deliveries.
+#[derive(Debug)]
+struct Flooder {
+    period: f64,
+}
+
+impl Behavior<BaseMsg> for Flooder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BaseMsg>) {
+        ctx.set_timer_at(TrackId::MAIN, self.period, TimerTag::new(0));
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, BaseMsg>, _from: NodeId, _msg: &BaseMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, BaseMsg>, tag: TimerTag) {
+        ctx.broadcast(BaseMsg::Beacon { value: 0.0 });
+        ctx.set_timer_at(
+            TrackId::MAIN,
+            (tag.b as f64 + 2.0) * self.period,
+            TimerTag::new(0).with_b(tag.b + 1),
+        );
+    }
+}
+
+fn bench_free_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_free_run");
+    group.sample_size(20);
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let g = generators::ring(n);
+                let mut sim = build_free_run_sim(&g, config(true));
+                sim.run_until(SimTime::from_secs(1.0));
+                black_box(sim.stats().events)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_message_flood");
+    group.sample_size(20);
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let g = generators::complete(n);
+                let mut builder = SimBuilder::<BaseMsg>::new(config(false));
+                for _ in 0..n {
+                    builder.add_node(Box::new(Flooder { period: 0.01 }));
+                }
+                for (a, b2) in g.edges() {
+                    builder.add_edge(NodeId(a), NodeId(b2));
+                }
+                let mut sim = builder.build();
+                sim.run_until(SimTime::from_secs(1.0));
+                black_box(sim.stats().messages)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_free_run, bench_message_flood);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: fast/slow trigger evaluation (Definitions 4.3/4.4)
+//! as a function of neighbor count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftgcs::triggers::evaluate;
+use ftgcs_sim::rng::SimRng;
+use std::hint::black_box;
+
+fn bench_trigger_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger_evaluate");
+    for neighbors in [1usize, 2, 4, 8, 16, 64] {
+        let mut rng = SimRng::seed_from(2);
+        let estimates: Vec<f64> = (0..neighbors).map(|_| rng.uniform(-0.05, 0.05)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(neighbors),
+            &estimates,
+            |b, est| {
+                b.iter(|| evaluate(black_box(0.0), black_box(est), 9e-3, 3e-3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trigger_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Shared experiment-harness helpers for the FTGCS reproduction.
+//!
+//! Each `src/bin/{f,t}*.rs` binary regenerates one figure or table of
+//! `EXPERIMENTS.md` (see `DESIGN.md` §3 for the index). This library
+//! holds the pieces they share: the adversarial clock-rate schedule, the
+//! standard post-warmup skew measurement, and CSV output.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use ftgcs::params::Params;
+use ftgcs::runner::{Scenario, ScenarioRun};
+use ftgcs_metrics::skew::{
+    cluster_local_skew_series, global_skew_series, intra_cluster_skew_series, FaultMask,
+};
+use ftgcs_metrics::table::Table;
+use ftgcs_sim::clock::RateModel;
+use ftgcs_topology::ClusterGraph;
+
+/// Default network characteristics `(ρ, d, U)` used by the experiments:
+/// drift `1e-4`, delay 1 ms, uncertainty 0.1 ms.
+pub const DEFAULT_ENV: (f64, f64, f64) = (1e-4, 1e-3, 1e-4);
+
+/// Derives the default practical parameter set for fault budget `f`.
+///
+/// # Panics
+///
+/// Panics if the default environment is infeasible (it is not).
+#[must_use]
+pub fn default_params(f: usize) -> Params {
+    let (rho, d, u) = DEFAULT_ENV;
+    Params::practical(rho, d, u, f).expect("default environment is feasible")
+}
+
+/// Pins the hardware clocks of the left half of the clusters to the
+/// fastest legal rate and the right half to the slowest — the adversarial
+/// schedule that maximizes skew across a line (cf. the lower-bound
+/// executions of [FL'04]).
+pub fn adversarial_rate_split(scenario: &mut Scenario, cg: &ClusterGraph) {
+    let clusters = cg.cluster_count();
+    for c in 0..clusters {
+        let frac = if c < clusters / 2 { 1.0 } else { 0.0 };
+        for slot in 0..cg.cluster_size() {
+            scenario.rate_override(cg.node_id(c, slot), RateModel::Constant { frac });
+        }
+    }
+}
+
+/// Post-warmup skew maxima of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewReport {
+    /// Worst intra-cluster skew (Corollary 3.2's quantity).
+    pub intra: f64,
+    /// Worst adjacent-cluster-clock skew (Theorem 4.10's quantity).
+    pub local: f64,
+    /// Worst global skew over correct nodes (Theorem C.3's quantity).
+    pub global: f64,
+}
+
+/// Measures the three skew maxima of `run` after `warmup` seconds.
+#[must_use]
+pub fn measure_skews(run: &ScenarioRun, cg: &ClusterGraph, warmup: f64) -> SkewReport {
+    let mask = FaultMask::from_nodes(cg.physical().node_count(), &run.faulty);
+    SkewReport {
+        intra: intra_cluster_skew_series(&run.trace, cg, &mask)
+            .after(warmup)
+            .max()
+            .unwrap_or(0.0),
+        local: cluster_local_skew_series(&run.trace, cg, &mask)
+            .after(warmup)
+            .max()
+            .unwrap_or(0.0),
+        global: global_skew_series(&run.trace, &mask)
+            .after(warmup)
+            .max()
+            .unwrap_or(0.0),
+    }
+}
+
+/// The standard warm-up window: five rounds, enough for the cluster
+/// algorithm to pass its transient (Proposition B.14 converges
+/// geometrically with ratio `α ≈ 1/2`).
+#[must_use]
+pub fn warmup(params: &Params) -> f64 {
+    5.0 * params.t_round
+}
+
+/// Returns the `results/` output directory, creating it if necessary.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a rendered table to stdout and its CSV twin to
+/// `results/<name>.csv`.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries have no error channel more
+/// useful than aborting).
+pub fn emit_table(name: &str, table: &Table) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("create csv");
+    file.write_all(table.to_csv().as_bytes()).expect("write csv");
+    println!("[csv written to {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgcs_topology::generators::line;
+
+    #[test]
+    fn default_params_are_feasible() {
+        let p = default_params(1);
+        assert!(p.alpha < 1.0);
+        assert_eq!(p.cluster_size, 4);
+    }
+
+    #[test]
+    fn adversarial_split_overrides_all_nodes() {
+        let p = default_params(1);
+        let cg = ClusterGraph::new(line(4), 4, 1);
+        let mut s = Scenario::new(cg.clone(), p);
+        adversarial_rate_split(&mut s, &cg);
+        // The scenario builds fine with all overrides in place.
+        let sim = s.build();
+        assert_eq!(sim.node_count(), 16);
+    }
+
+    #[test]
+    fn measure_skews_produces_finite_values() {
+        let p = default_params(1);
+        let cg = ClusterGraph::new(line(2), 4, 1);
+        let mut s = Scenario::new(cg.clone(), p.clone());
+        s.seed(1);
+        let run = s.run_for(20.0 * p.t_round);
+        let report = measure_skews(&run, &cg, warmup(&p));
+        assert!(report.intra.is_finite() && report.intra >= 0.0);
+        assert!(report.local.is_finite());
+        assert!(report.global >= 0.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! Byzantine fault strategies.
+//!
+//! The model places no restriction on faulty nodes (paper, Section 2,
+//! "Faults"): they need not broadcast, may send at arbitrary times, and may
+//! send different messages to different neighbors. True worst-case behavior
+//! cannot be enumerated, so this module provides concrete adversaries that
+//! attack each defended surface:
+//!
+//! | strategy | attacks |
+//! |---|---|
+//! | [`SilentNode`] / crash | liveness of pulse collection (missing entries) |
+//! | [`RandomPulser`] | round attribution windows |
+//! | [`TwoFacedPulser`] | agreement: different timing per receiver |
+//! | [`SkewPuller`] | validity: drag the cluster's midpoint |
+//! | [`StealthyRusher`] | rate bounds: plausible-but-too-fast pulses |
+//! | [`LevelFlooder`] | the `f+1` confirmation rule of the max estimator |
+//!
+//! Strategies that need to stay *plausible* (land inside the listening
+//! window round after round) track their own cluster with a silent
+//! [`ClusterInstance`] — the same estimator machinery correct neighbors
+//! use — and then time their lies relative to that estimate.
+
+use std::rc::Rc;
+
+use ftgcs_sim::engine::Ctx;
+use ftgcs_sim::node::{Behavior, NodeId, TimerTag, TrackId};
+
+use crate::cluster::{ClusterInstance, InstanceEvent, TIMER_ROUND_END};
+use crate::messages::Msg;
+use crate::node::{FtGcsNode, NodeConfig};
+use crate::params::Params;
+
+/// Timer kind for a Byzantine node's "early face" pulse.
+const TIMER_EARLY: u32 = 10;
+/// Timer kind for a Byzantine node's "late face" pulse.
+const TIMER_LATE: u32 = 11;
+/// Timer kind for periodic Byzantine actions.
+const TIMER_PERIODIC: u32 = 12;
+
+/// A fault strategy, used by the scenario runner to instantiate behaviors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Never sends anything (fail-silent from the start).
+    Silent,
+    /// Runs the correct protocol until the given Newtonian time, then goes
+    /// silent (a crash; equivalent to deleting its links, cf. §1).
+    Crash {
+        /// Crash time (Newtonian seconds).
+        at: f64,
+    },
+    /// Sends pulses to all neighbors at random intervals.
+    RandomPulser {
+        /// Mean interval between pulse volleys (seconds).
+        mean_interval: f64,
+    },
+    /// Sends each round's pulse *early* to half its neighbors and *late*
+    /// to the other half, by ±`amplitude` logical seconds around the
+    /// correct pulse time.
+    TwoFaced {
+        /// Timing asymmetry (logical seconds); keep below `ϕ·τ₃` to stay
+        /// plausible.
+        amplitude: f64,
+    },
+    /// Sends every pulse `offset` logical seconds away from the correct
+    /// time (negative = early, trying to drag the cluster fast).
+    SkewPuller {
+        /// Constant timing offset (logical seconds).
+        offset: f64,
+    },
+    /// Free-runs the round schedule at a rate beyond the legal bound,
+    /// drifting steadily ahead of the cluster.
+    StealthyRusher {
+        /// Extra rate beyond `(1+ϕ)(1+µ)` (e.g. `0.01` = 1% fast).
+        extra_rate: f64,
+    },
+    /// Broadcasts absurd max-estimator levels to inflate `M_v`.
+    LevelFlooder {
+        /// Level increment announced per round.
+        level_step: u64,
+    },
+}
+
+/// Builds the behavior implementing `kind` for the node described by
+/// `cfg`.
+#[must_use]
+pub fn make_fault_behavior(kind: &FaultKind, cfg: NodeConfig) -> Box<dyn Behavior<Msg>> {
+    match kind {
+        FaultKind::Silent => Box::new(SilentNode),
+        FaultKind::Crash { at } => Box::new(CrashNode::new(cfg, *at)),
+        FaultKind::RandomPulser { mean_interval } => {
+            Box::new(RandomPulser::new(*mean_interval))
+        }
+        FaultKind::TwoFaced { amplitude } => Box::new(TwoFacedPulser::new(cfg, *amplitude)),
+        FaultKind::SkewPuller { offset } => Box::new(SkewPuller::new(cfg, *offset)),
+        FaultKind::StealthyRusher { extra_rate } => {
+            Box::new(StealthyRusher::new(Rc::clone(&cfg.params), *extra_rate))
+        }
+        FaultKind::LevelFlooder { level_step } => {
+            Box::new(LevelFlooder::new(Rc::clone(&cfg.params), *level_step))
+        }
+    }
+}
+
+/// A node that never sends anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentNode;
+
+impl Behavior<Msg> for SilentNode {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Msg>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {}
+}
+
+/// Correct behavior until a crash time, then silence.
+#[derive(Debug)]
+pub struct CrashNode {
+    inner: FtGcsNode,
+    crash_at: f64,
+}
+
+impl CrashNode {
+    /// Creates a node that runs `FtGcsNode` semantics until `crash_at`
+    /// (Newtonian seconds).
+    #[must_use]
+    pub fn new(cfg: NodeConfig, crash_at: f64) -> Self {
+        CrashNode {
+            inner: FtGcsNode::new(cfg),
+            crash_at,
+        }
+    }
+
+    fn alive(&self, ctx: &Ctx<'_, Msg>) -> bool {
+        ctx.newtonian_now().as_secs() < self.crash_at
+    }
+}
+
+impl Behavior<Msg> for CrashNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.alive(ctx) {
+            self.inner.on_start(ctx);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        if self.alive(ctx) {
+            self.inner.on_message(ctx, from, msg);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: TimerTag) {
+        if self.alive(ctx) {
+            self.inner.on_timer(ctx, tag);
+        }
+    }
+}
+
+/// Pulses at random times, ignoring the protocol entirely.
+#[derive(Debug)]
+pub struct RandomPulser {
+    mean_interval: f64,
+}
+
+impl RandomPulser {
+    /// Creates a pulser with the given mean volley interval (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not positive.
+    #[must_use]
+    pub fn new(mean_interval: f64) -> Self {
+        assert!(mean_interval > 0.0, "interval must be positive");
+        RandomPulser { mean_interval }
+    }
+
+    fn arm(&self, ctx: &mut Ctx<'_, Msg>) {
+        let next = ctx.track_value(TrackId::MAIN)
+            + ctx.rng().uniform(0.1, 1.9) * self.mean_interval;
+        ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(TIMER_PERIODIC));
+    }
+}
+
+impl Behavior<Msg> for RandomPulser {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.arm(ctx);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {
+        // Send to a random subset of neighbors, one by one (Byzantine
+        // nodes are not bound to broadcast).
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        for to in neighbors {
+            if ctx.rng().chance(0.7) {
+                ctx.send(to, Msg::Pulse);
+            }
+        }
+        self.arm(ctx);
+    }
+}
+
+/// Shared machinery for Byzantine strategies that stay synchronized to
+/// their own cluster via a silent tracker instance.
+#[derive(Debug)]
+struct ClusterFollower {
+    tracker: Option<ClusterInstance>,
+    params: Rc<Params>,
+    cluster_id: usize,
+    /// Own-cluster members excluding this node.
+    peers: Vec<NodeId>,
+}
+
+impl ClusterFollower {
+    fn new(cfg: &NodeConfig, me_excluded_later: bool) -> Self {
+        debug_assert!(me_excluded_later);
+        ClusterFollower {
+            tracker: None,
+            params: Rc::clone(&cfg.params),
+            cluster_id: cfg.cluster_id,
+            peers: cfg.members.clone(),
+        }
+    }
+
+    fn start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let me = ctx.my_id();
+        self.peers.retain(|&m| m != me);
+        let track = ctx.new_track(0.0, 1.0);
+        let mut tracker = ClusterInstance::new(
+            1,
+            track,
+            self.cluster_id,
+            self.peers.clone(),
+            true,
+            Rc::clone(&self.params),
+        );
+        tracker.start(ctx);
+        self.tracker = Some(tracker);
+    }
+
+    /// Routes messages into the tracker; returns `true` if consumed.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) -> bool {
+        let Some(tracker) = &mut self.tracker else {
+            return false;
+        };
+        match *msg {
+            Msg::Pulse if tracker.observes(from) => {
+                tracker.on_pulse(ctx, from);
+                true
+            }
+            Msg::VirtualPulse { instance: 1 } if from == ctx.my_id() => {
+                tracker.on_virtual_pulse(ctx);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Routes tracker timers; returns the instance event if it was a
+    /// tracker timer (tag.a == 1).
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: TimerTag) -> Option<InstanceEvent> {
+        if tag.a == 1 && tag.kind <= TIMER_ROUND_END {
+            let tracker = self.tracker.as_mut().expect("started");
+            Some(tracker.on_timer(ctx, tag))
+        } else {
+            None
+        }
+    }
+
+    fn track(&self) -> TrackId {
+        self.tracker.as_ref().expect("started").track()
+    }
+
+    /// Logical time of the next round-`r` pulse on the tracker clock.
+    fn pulse_target(&self, round: u64) -> f64 {
+        (round - 1) as f64 * self.params.t_round + self.params.tau1
+    }
+}
+
+/// Sends pulses early to even-indexed neighbors and late to odd-indexed
+/// ones — the classic equivocation attack on agreement-based sync.
+#[derive(Debug)]
+pub struct TwoFacedPulser {
+    follower: ClusterFollower,
+    amplitude: f64,
+}
+
+impl TwoFacedPulser {
+    /// Creates the attacker; `amplitude` is the ± timing lie in logical
+    /// seconds.
+    #[must_use]
+    pub fn new(cfg: NodeConfig, amplitude: f64) -> Self {
+        TwoFacedPulser {
+            follower: ClusterFollower::new(&cfg, true),
+            amplitude: amplitude.abs(),
+        }
+    }
+
+    fn schedule_faces(&self, ctx: &mut Ctx<'_, Msg>, round: u64) {
+        let target = self.follower.pulse_target(round);
+        let track = self.follower.track();
+        let tag = |kind: u32| TimerTag::new(kind).with_b(round);
+        ctx.set_timer_at(
+            track,
+            (target - self.amplitude).max(0.0),
+            tag(TIMER_EARLY),
+        );
+        ctx.set_timer_at(track, target + self.amplitude, tag(TIMER_LATE));
+    }
+
+    fn send_face(&self, ctx: &mut Ctx<'_, Msg>, early: bool) {
+        let neighbors: Vec<NodeId> = ctx.neighbors().to_vec();
+        for (i, to) in neighbors.into_iter().enumerate() {
+            if (i % 2 == 0) == early {
+                ctx.send(to, Msg::Pulse);
+            }
+        }
+    }
+}
+
+impl Behavior<Msg> for TwoFacedPulser {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.follower.start(ctx);
+        self.schedule_faces(ctx, 1);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        let _ = self.follower.on_message(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: TimerTag) {
+        match tag.kind {
+            TIMER_EARLY => self.send_face(ctx, true),
+            TIMER_LATE => self.send_face(ctx, false),
+            _ => {
+                if let Some(InstanceEvent::RoundEnded { new_round }) =
+                    self.follower.on_timer(ctx, tag)
+                {
+                    self.schedule_faces(ctx, new_round);
+                }
+            }
+        }
+    }
+}
+
+/// Sends every pulse at a constant offset from the correct time, trying to
+/// drag the cluster's trimmed midpoint.
+#[derive(Debug)]
+pub struct SkewPuller {
+    follower: ClusterFollower,
+    offset: f64,
+}
+
+impl SkewPuller {
+    /// Creates the attacker; negative `offset` pulses early (pulls the
+    /// cluster fast), positive pulses late.
+    #[must_use]
+    pub fn new(cfg: NodeConfig, offset: f64) -> Self {
+        SkewPuller {
+            follower: ClusterFollower::new(&cfg, true),
+            offset,
+        }
+    }
+
+    fn schedule(&self, ctx: &mut Ctx<'_, Msg>, round: u64) {
+        let target = (self.follower.pulse_target(round) + self.offset).max(0.0);
+        ctx.set_timer_at(
+            self.follower.track(),
+            target,
+            TimerTag::new(TIMER_EARLY).with_b(round),
+        );
+    }
+}
+
+impl Behavior<Msg> for SkewPuller {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.follower.start(ctx);
+        self.schedule(ctx, 1);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        let _ = self.follower.on_message(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: TimerTag) {
+        if tag.kind == TIMER_EARLY {
+            ctx.broadcast(Msg::Pulse);
+        } else if let Some(InstanceEvent::RoundEnded { new_round }) =
+            self.follower.on_timer(ctx, tag)
+        {
+            self.schedule(ctx, new_round);
+        }
+    }
+}
+
+/// Free-runs the pulse schedule at an illegally fast rate.
+#[derive(Debug)]
+pub struct StealthyRusher {
+    params: Rc<Params>,
+    extra_rate: f64,
+    round: u64,
+}
+
+impl StealthyRusher {
+    /// Creates the attacker with the given extra rate beyond
+    /// `(1+ϕ)(1+µ)`.
+    #[must_use]
+    pub fn new(params: Rc<Params>, extra_rate: f64) -> Self {
+        StealthyRusher {
+            params,
+            extra_rate,
+            round: 1,
+        }
+    }
+
+    fn schedule(&self, ctx: &mut Ctx<'_, Msg>) {
+        let target = (self.round - 1) as f64 * self.params.t_round + self.params.tau1;
+        ctx.set_timer_at(
+            TrackId::MAIN,
+            target,
+            TimerTag::new(TIMER_PERIODIC).with_b(self.round),
+        );
+    }
+}
+
+impl Behavior<Msg> for StealthyRusher {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let p = &self.params;
+        let rate = (1.0 + p.phi) * (1.0 + p.mu) * (1.0 + self.extra_rate);
+        ctx.set_multiplier(TrackId::MAIN, rate);
+        self.schedule(ctx);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {
+        ctx.broadcast(Msg::Pulse);
+        self.round += 1;
+        self.schedule(ctx);
+    }
+}
+
+/// Broadcasts inflated max-estimator levels every round.
+#[derive(Debug)]
+pub struct LevelFlooder {
+    params: Rc<Params>,
+    level_step: u64,
+    current: u64,
+}
+
+impl LevelFlooder {
+    /// Creates the attacker announcing `level_step` extra levels per round.
+    #[must_use]
+    pub fn new(params: Rc<Params>, level_step: u64) -> Self {
+        LevelFlooder {
+            params,
+            level_step,
+            current: 0,
+        }
+    }
+}
+
+impl Behavior<Msg> for LevelFlooder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer_at(TrackId::MAIN, self.params.t_round, TimerTag::new(TIMER_PERIODIC));
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {
+        self.current = self.current.saturating_add(self.level_step);
+        ctx.broadcast(Msg::Level {
+            level: self.current,
+        });
+        let next = ctx.track_value(TrackId::MAIN) + self.params.t_round;
+        ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(TIMER_PERIODIC));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> NodeConfig {
+        NodeConfig {
+            params: Rc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap()),
+            cluster_id: 0,
+            members: (0..4).map(NodeId).collect(),
+            neighbors: vec![],
+            neighbor_offsets: vec![],
+            mode_policy: crate::triggers::ModePolicy::CatchUp,
+            enable_max_estimator: false,
+            initial_offset: 0.0,
+        }
+    }
+
+    #[test]
+    fn all_kinds_construct() {
+        let kinds = [
+            FaultKind::Silent,
+            FaultKind::Crash { at: 1.0 },
+            FaultKind::RandomPulser { mean_interval: 0.1 },
+            FaultKind::TwoFaced { amplitude: 1e-3 },
+            FaultKind::SkewPuller { offset: -1e-3 },
+            FaultKind::StealthyRusher { extra_rate: 0.01 },
+            FaultKind::LevelFlooder { level_step: 100 },
+        ];
+        for kind in &kinds {
+            let _behavior = make_fault_behavior(kind, config());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn random_pulser_rejects_zero_interval() {
+        let _ = RandomPulser::new(0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Wire messages of the FTGCS protocol.
+//!
+//! Correct nodes exchange only *pulses* — content-less beats whose
+//! information is their timing (paper, Section 2) — plus the level pulses
+//! of the global-skew estimator (Appendix C.2). The only payload is the
+//! level counter, which merely compresses "one pulse per level" into a
+//! single message, and the instance routing tag on [`Msg::VirtualPulse`],
+//! which never leaves its sender (self-loopback only).
+
+/// A protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// A cluster-synchronization pulse. Content-less: receivers attribute
+    /// it by sender identity and arrival time.
+    Pulse,
+    /// A self-loopback pulse of a *silent* estimator instance: node `v`
+    /// simulating cluster `B`'s ClusterSync sends this to itself in place
+    /// of broadcasting. Correct nodes ignore `VirtualPulse` from anyone
+    /// but themselves, so the routing tag is trustworthy.
+    VirtualPulse {
+        /// Index of the estimator instance on the sending node.
+        instance: u32,
+    },
+    /// A max-estimator level pulse: "my estimate `M_v` has crossed level
+    /// `level`" (Lemma C.2). Equivalent to `level` content-less pulses;
+    /// receivers keep the per-sender maximum.
+    Level {
+        /// The crossed level (multiples of the configured level unit).
+        level: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_small_and_copyable() {
+        // Pulses must stay cheap: they are broadcast every round.
+        assert!(std::mem::size_of::<Msg>() <= 16);
+        let m = Msg::Level { level: 7 };
+        let n = m;
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Msg::Pulse), "Pulse");
+        assert!(format!("{:?}", Msg::VirtualPulse { instance: 2 }).contains('2'));
+    }
+}

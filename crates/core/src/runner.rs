@@ -1,0 +1,415 @@
+//! Scenario assembly: topology + parameters + faults → a runnable
+//! simulation.
+//!
+//! [`Scenario`] is the high-level entry point of the crate: it places one
+//! [`FtGcsNode`] (or a Byzantine behavior) on every physical node of a
+//! [`ClusterGraph`], wires the communication edges, seeds the randomness,
+//! and returns either a ready [`Simulation`] or a completed
+//! [`ScenarioRun`] with the recorded trace.
+
+use std::rc::Rc;
+
+use ftgcs_sim::clock::RateModel;
+use ftgcs_sim::engine::{SimBuilder, SimConfig, SimStats, Simulation};
+use ftgcs_sim::network::{DelayConfig, DelayDistribution};
+use ftgcs_sim::node::NodeId;
+use ftgcs_sim::rng::SimRng;
+use ftgcs_sim::time::{SimDuration, SimTime};
+use ftgcs_sim::trace::Trace;
+use ftgcs_topology::ClusterGraph;
+
+use crate::faults::{make_fault_behavior, FaultKind};
+use crate::messages::Msg;
+use crate::node::{FtGcsNode, NodeConfig};
+use crate::params::Params;
+use crate::triggers::ModePolicy;
+
+/// A fully specified experiment: graph, parameters, faults, environment.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs::runner::Scenario;
+/// use ftgcs::params::Params;
+/// use ftgcs_topology::{generators, ClusterGraph};
+///
+/// let params = Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap();
+/// let cg = ClusterGraph::new(generators::line(2), 4, 1);
+/// let mut scenario = Scenario::new(cg, params);
+/// scenario.seed(7);
+/// let run = scenario.run_for(2.0); // two simulated seconds
+/// assert!(!run.trace.samples.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Scenario {
+    cg: ClusterGraph,
+    params: Rc<Params>,
+    seed: u64,
+    delay_distribution: DelayDistribution,
+    rate_model: RateModel,
+    sample_interval: Option<SimDuration>,
+    mode_policy: ModePolicy,
+    enable_max_estimator: bool,
+    faults: Vec<(usize, FaultKind)>,
+    initial_offset_spread: f64,
+    cluster_offsets: Vec<f64>,
+    rate_overrides: Vec<(usize, RateModel)>,
+}
+
+impl Scenario {
+    /// Creates a scenario with benign defaults: uniform random delays,
+    /// random-walk clock drift, catch-up mode policy, max estimator on,
+    /// perfect initialization, sampling at `T/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster graph's `(k, f)` disagree with the
+    /// parameters'.
+    #[must_use]
+    pub fn new(cg: ClusterGraph, params: Params) -> Self {
+        assert_eq!(
+            cg.max_faults(),
+            params.f,
+            "cluster graph fault budget must match parameters"
+        );
+        assert_eq!(
+            cg.cluster_size(),
+            params.cluster_size,
+            "cluster graph size must match parameters"
+        );
+        let sample = SimDuration::from_secs(params.t_round / 2.0);
+        let cluster_count = cg.cluster_count();
+        Scenario {
+            cg,
+            params: Rc::new(params),
+            seed: 0,
+            delay_distribution: DelayDistribution::Uniform,
+            rate_model: RateModel::RandomWalk {
+                dwell: 1.0,
+                step: 0.5,
+            },
+            sample_interval: Some(sample),
+            mode_policy: ModePolicy::CatchUp,
+            enable_max_estimator: true,
+            faults: Vec::new(),
+            initial_offset_spread: 0.0,
+            cluster_offsets: vec![0.0; cluster_count],
+            rate_overrides: Vec::new(),
+        }
+    }
+
+    /// The cluster graph.
+    #[must_use]
+    pub fn cluster_graph(&self) -> &ClusterGraph {
+        &self.cg
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Sets the master seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the message-delay distribution within `[d−U, d]`.
+    pub fn delay_distribution(&mut self, dist: DelayDistribution) -> &mut Self {
+        self.delay_distribution = dist;
+        self
+    }
+
+    /// Sets the default hardware clock rate model.
+    pub fn rate_model(&mut self, model: RateModel) -> &mut Self {
+        self.rate_model = model;
+        self
+    }
+
+    /// Overrides the rate model of one physical node.
+    pub fn rate_override(&mut self, node: usize, model: RateModel) -> &mut Self {
+        self.rate_overrides.push((node, model));
+        self
+    }
+
+    /// Sets the clock-sampling interval (`None` disables sampling).
+    pub fn sample_interval(&mut self, interval: Option<SimDuration>) -> &mut Self {
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Sets the mode policy used when neither trigger fires.
+    pub fn mode_policy(&mut self, policy: ModePolicy) -> &mut Self {
+        self.mode_policy = policy;
+        self
+    }
+
+    /// Enables or disables the global-max estimator.
+    pub fn max_estimator(&mut self, enabled: bool) -> &mut Self {
+        self.enable_max_estimator = enabled;
+        self
+    }
+
+    /// Spreads initial logical clocks uniformly over `[0, spread]`
+    /// (keep `spread ≤ E` for proper executions).
+    pub fn initial_offset_spread(&mut self, spread: f64) -> &mut Self {
+        assert!(spread >= 0.0, "spread must be non-negative");
+        self.initial_offset_spread = spread;
+        self
+    }
+
+    /// Starts all clocks of one cluster (and the estimators tracking it)
+    /// at `offset`. This injects *inter-cluster* skew for gradient
+    /// experiments while keeping intra-cluster initialization consistent.
+    ///
+    /// Keep offsets below `κ` each: the first one or two rounds after a
+    /// large offset are transiently improper (pulse windows shift) before
+    /// the instances re-lock; metrics should use post-warmup windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster id is out of range or the offset negative.
+    pub fn cluster_offset(&mut self, cluster: usize, offset: f64) -> &mut Self {
+        assert!(cluster < self.cg.cluster_count(), "cluster out of range");
+        assert!(offset >= 0.0, "offsets must be non-negative");
+        self.cluster_offsets[cluster] = offset;
+        self
+    }
+
+    /// Sets a linear offset ramp: cluster `i` starts at `i·step` — the
+    /// canonical "smooth gradient" initial condition.
+    pub fn cluster_offset_ramp(&mut self, step: f64) -> &mut Self {
+        for c in 0..self.cg.cluster_count() {
+            self.cluster_offset(c, step * c as f64);
+        }
+        self
+    }
+
+    /// Makes one physical node Byzantine with the given strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range or already faulty.
+    pub fn with_fault(&mut self, node: usize, kind: FaultKind) -> &mut Self {
+        assert!(
+            node < self.cg.physical().node_count(),
+            "faulty node id out of range"
+        );
+        assert!(
+            self.faults.iter().all(|&(n, _)| n != node),
+            "node {node} already has a fault assigned"
+        );
+        self.faults.push((node, kind));
+        self
+    }
+
+    /// Makes slots `0..count` of *every* cluster Byzantine with the given
+    /// strategy.
+    pub fn with_fault_per_cluster(&mut self, kind: &FaultKind, count: usize) -> &mut Self {
+        for c in 0..self.cg.cluster_count() {
+            for slot in 0..count {
+                let node = self.cg.node_id(c, slot);
+                self.with_fault(node, kind.clone());
+            }
+        }
+        self
+    }
+
+    /// Makes `count` random members of each cluster Byzantine.
+    pub fn with_random_faults(&mut self, kind: &FaultKind, count: usize, seed: u64) -> &mut Self {
+        let mut rng = SimRng::seed_from(seed);
+        for c in 0..self.cg.cluster_count() {
+            let mut slots: Vec<usize> = (0..self.cg.cluster_size()).collect();
+            for i in 0..count.min(slots.len()) {
+                let j = i + rng.index(slots.len() - i);
+                slots.swap(i, j);
+                self.with_fault(self.cg.node_id(c, slots[i]), kind.clone());
+            }
+        }
+        self
+    }
+
+    /// Ids of the currently assigned faulty nodes.
+    #[must_use]
+    pub fn faulty_nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self.faults.iter().map(|&(n, _)| n).collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Whether any cluster's fault count exceeds the budget `f` (allowed —
+    /// some experiments deliberately break the premise — but worth
+    /// knowing).
+    #[must_use]
+    pub fn faults_exceed_budget(&self) -> bool {
+        let mut per_cluster = vec![0usize; self.cg.cluster_count()];
+        for &(n, _) in &self.faults {
+            per_cluster[self.cg.cluster_of(n)] += 1;
+        }
+        per_cluster.iter().any(|&c| c > self.params.f)
+    }
+
+    fn node_config(&self, cluster: usize) -> NodeConfig {
+        let members: Vec<NodeId> = self.cg.members(cluster).map(NodeId).collect();
+        let neighbors: Vec<(usize, Vec<NodeId>)> = self
+            .cg
+            .neighbor_clusters(cluster)
+            .iter()
+            .map(|&b| (b, self.cg.members(b).map(NodeId).collect()))
+            .collect();
+        let neighbor_offsets = self
+            .cg
+            .neighbor_clusters(cluster)
+            .iter()
+            .map(|&b| self.cluster_offsets[b])
+            .collect();
+        NodeConfig {
+            params: Rc::clone(&self.params),
+            cluster_id: cluster,
+            members,
+            neighbors,
+            neighbor_offsets,
+            mode_policy: self.mode_policy,
+            enable_max_estimator: self.enable_max_estimator,
+            initial_offset: self.cluster_offsets[cluster],
+        }
+    }
+
+    /// Builds the simulation (behaviors, edges, clocks) without running it.
+    #[must_use]
+    pub fn build(&self) -> Simulation<Msg> {
+        let p = &self.params;
+        let config = SimConfig {
+            delay: DelayConfig::new(
+                SimDuration::from_secs(p.d),
+                SimDuration::from_secs(p.u),
+                self.delay_distribution.clone(),
+            ),
+            rho: p.rho,
+            rate_model: self.rate_model.clone(),
+            seed: self.seed,
+            sample_interval: self.sample_interval,
+        };
+        let offset_rng = SimRng::seed_from(self.seed).derive("init-offset", 0);
+        let mut offsets = offset_rng;
+        let mut builder = SimBuilder::new(config);
+        for c in 0..self.cg.cluster_count() {
+            for slot in 0..self.cg.cluster_size() {
+                let node = self.cg.node_id(c, slot);
+                let mut cfg = self.node_config(c);
+                if self.initial_offset_spread > 0.0 {
+                    cfg.initial_offset += offsets.uniform(0.0, self.initial_offset_spread);
+                }
+                let fault = self.faults.iter().find(|&&(n, _)| n == node);
+                let behavior = match fault {
+                    Some((_, kind)) => make_fault_behavior(kind, cfg),
+                    None => Box::new(FtGcsNode::new(cfg)),
+                };
+                let id = builder.add_node(behavior);
+                debug_assert_eq!(id.index(), node);
+            }
+        }
+        for (a, b) in self.cg.physical().edges() {
+            builder.add_edge(NodeId(a), NodeId(b));
+        }
+        for (node, model) in &self.rate_overrides {
+            builder.set_rate_model(NodeId(*node), model.clone());
+        }
+        builder.build()
+    }
+
+    /// Builds and runs for `duration` simulated seconds.
+    #[must_use]
+    pub fn run_for(&self, duration: f64) -> ScenarioRun {
+        let mut sim = self.build();
+        sim.run_until(SimTime::from_secs(duration));
+        let stats = sim.stats();
+        ScenarioRun {
+            faulty: self.faulty_nodes(),
+            stats,
+            trace: sim.into_trace(),
+        }
+    }
+
+    /// Runs for the parameter-suggested horizon of this graph's diameter.
+    #[must_use]
+    pub fn run_suggested(&self) -> ScenarioRun {
+        let d = ftgcs_topology::analysis::diameter(self.cg.base());
+        self.run_for(self.params.suggested_horizon(d))
+    }
+}
+
+/// The output of a completed scenario.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The recorded trace (clock samples + algorithm rows).
+    pub trace: Trace,
+    /// Ids of the Byzantine nodes, sorted.
+    pub faulty: Vec<usize>,
+    /// Engine work counters.
+    pub stats: SimStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgcs_topology::generators::line;
+
+    fn scenario() -> Scenario {
+        let params = Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap();
+        Scenario::new(ClusterGraph::new(line(2), 4, 1), params)
+    }
+
+    #[test]
+    fn builds_the_right_node_count() {
+        let s = scenario();
+        let sim = s.build();
+        assert_eq!(sim.node_count(), 8);
+    }
+
+    #[test]
+    fn fault_assignment_and_budget_check() {
+        let mut s = scenario();
+        assert!(s.faulty_nodes().is_empty());
+        s.with_fault_per_cluster(&FaultKind::Silent, 1);
+        assert_eq!(s.faulty_nodes(), vec![0, 4]);
+        assert!(!s.faults_exceed_budget());
+        s.with_fault(1, FaultKind::Silent);
+        assert!(s.faults_exceed_budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a fault")]
+    fn duplicate_fault_rejected() {
+        let mut s = scenario();
+        s.with_fault(0, FaultKind::Silent);
+        s.with_fault(0, FaultKind::Silent);
+    }
+
+    #[test]
+    fn random_faults_stay_within_count() {
+        let mut s = scenario();
+        s.with_random_faults(&FaultKind::Silent, 1, 3);
+        assert_eq!(s.faulty_nodes().len(), 2);
+        assert!(!s.faults_exceed_budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match parameters")]
+    fn mismatched_fault_budget_rejected() {
+        let params = Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap();
+        let _ = Scenario::new(ClusterGraph::new(line(2), 7, 2), params);
+    }
+
+    #[test]
+    fn short_run_produces_samples_and_rows() {
+        let mut s = scenario();
+        s.seed(1);
+        let run = s.run_for(1.0);
+        assert!(!run.trace.samples.is_empty());
+        assert!(run.trace.rows_of_kind(crate::cluster::ROW_PULSE).count() > 0);
+        assert!(run.stats.messages > 0);
+    }
+}

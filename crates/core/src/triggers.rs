@@ -1,0 +1,232 @@
+//! Fast/slow triggers of the inter-cluster GCS layer (Definitions 4.3/4.4).
+//!
+//! A node `v ∈ C` with clock estimate `L_v` and neighbor-cluster estimates
+//! `L̃_vB` satisfies the **fast trigger** at time `t` iff for some integer
+//! `s ≥ 1`
+//!
+//! * FT-1: `∃A ∈ N_C : L̃_vA − L_v ≥ 2sκ − δ`, and
+//! * FT-2: `∀B ∈ N_C : L_v − L̃_vB ≤ 2sκ + δ`;
+//!
+//! and the **slow trigger** iff for some `s ≥ 1`
+//!
+//! * ST-1: `∃A ∈ N_C : L_v − L̃_vA ≥ (2s−1)κ − δ`, and
+//! * ST-2: `∀B ∈ N_C : L̃_vB − L_v ≤ (2s−1)κ + δ`.
+//!
+//! With `κ = 3δ` the triggers are mutually exclusive (Lemma 4.5), which
+//! [`evaluate`] debug-asserts and experiment T6 audits at runtime.
+
+/// The rate mode chosen by InterclusterSync for a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// `γ_v = 1`: logical clock gains the `(1+µ)` factor.
+    Fast,
+    /// `γ_v = 0`.
+    #[default]
+    Slow,
+}
+
+/// How to choose a mode when *neither* trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModePolicy {
+    /// Keep the previous mode (Algorithm 2 verbatim).
+    Sticky,
+    /// Fall back to slow (the premise of Lemmas C.1/C.2).
+    DefaultSlow,
+    /// Theorem C.3: fall back to fast when trailing the global-maximum
+    /// estimate by `c·δ`, else slow. Requires the max estimator.
+    #[default]
+    CatchUp,
+}
+
+/// Outcome of a trigger evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerOutcome {
+    /// Whether the fast trigger FT fired.
+    pub fast: bool,
+    /// Whether the slow trigger ST fired.
+    pub slow: bool,
+}
+
+/// Evaluates both triggers for own clock `own` against neighbor-cluster
+/// estimates, with step `κ = kappa` and slack `δ = slack`.
+///
+/// Returns both flags; under `κ ≥ 2δ + (any positive gap)` at most one can
+/// be set (Lemma 4.5 — with the paper's `κ = 3δ` this holds strictly).
+///
+/// # Panics
+///
+/// Panics (debug) if both triggers fire simultaneously, which would
+/// falsify Lemma 4.5.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs::triggers::evaluate;
+///
+/// let kappa = 3.0;
+/// let slack = 1.0;
+/// // A neighbor 6.5 ahead (>= 2κ − δ = 5): fast trigger fires.
+/// let o = evaluate(0.0, &[6.5], kappa, slack);
+/// assert!(o.fast && !o.slow);
+/// // A neighbor 2.5 behind (>= κ − δ = 2): slow trigger fires.
+/// let o = evaluate(0.0, &[-2.5], kappa, slack);
+/// assert!(o.slow && !o.fast);
+/// ```
+#[must_use]
+pub fn evaluate(own: f64, estimates: &[f64], kappa: f64, slack: f64) -> TriggerOutcome {
+    assert!(kappa > 0.0 && slack >= 0.0, "need kappa > 0 and slack >= 0");
+    if estimates.is_empty() {
+        return TriggerOutcome {
+            fast: false,
+            slow: false,
+        };
+    }
+    // max_up = how far the most-ahead neighbor leads us;
+    // max_down = how far the most-behind neighbor trails us.
+    let max_up = estimates
+        .iter()
+        .map(|&e| e - own)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let max_down = estimates
+        .iter()
+        .map(|&e| own - e)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    // FT: exists integer s >= 1 with
+    //   2sκ <= max_up + δ  (FT-1)   and   2sκ >= max_down − δ  (FT-2).
+    let ft_hi = ((max_up + slack) / (2.0 * kappa)).floor();
+    let ft_lo = ((max_down - slack) / (2.0 * kappa)).ceil().max(1.0);
+    let fast = ft_lo <= ft_hi;
+
+    // ST: exists integer s >= 1 with
+    //   (2s−1)κ <= max_down + δ  (ST-1)   and   (2s−1)κ >= max_up − δ  (ST-2).
+    let st_hi = (((max_down + slack) / kappa + 1.0) / 2.0).floor();
+    let st_lo = (((max_up - slack) / kappa + 1.0) / 2.0).ceil().max(1.0);
+    let slow = st_lo <= st_hi;
+
+    debug_assert!(
+        !(fast && slow) || slack * 2.0 >= kappa,
+        "Lemma 4.5 violated: FT and ST both fired \
+         (own={own}, up={max_up}, down={max_down}, kappa={kappa}, slack={slack})"
+    );
+    TriggerOutcome { fast, slow }
+}
+
+/// The *conditions* FC/SC (Definitions 4.1/4.2): the triggers with zero
+/// slack, evaluated on true cluster clocks. Used by audits (experiment T6)
+/// to check faithfulness (Definition 4.6).
+#[must_use]
+pub fn conditions(own: f64, neighbors: &[f64], kappa: f64) -> TriggerOutcome {
+    evaluate(own, neighbors, kappa, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: f64 = 3.0;
+    const D: f64 = 1.0; // slack = kappa/3 as in Lemma 4.8
+
+    #[test]
+    fn no_neighbors_never_triggers() {
+        let o = evaluate(5.0, &[], K, D);
+        assert!(!o.fast && !o.slow);
+    }
+
+    #[test]
+    fn balanced_clocks_trigger_nothing() {
+        let o = evaluate(0.0, &[0.1, -0.1], K, D);
+        assert!(!o.fast && !o.slow);
+    }
+
+    #[test]
+    fn far_ahead_neighbor_triggers_fast() {
+        // 2κ − δ = 5.
+        assert!(evaluate(0.0, &[5.0], K, D).fast);
+        assert!(!evaluate(0.0, &[4.9], K, D).fast);
+    }
+
+    #[test]
+    fn far_behind_neighbor_triggers_slow() {
+        // κ − δ = 2.
+        assert!(evaluate(0.0, &[-2.0], K, D).slow);
+        assert!(!evaluate(0.0, &[-1.9], K, D).slow);
+    }
+
+    #[test]
+    fn fast_blocked_by_lagging_neighbor() {
+        // One neighbor 5 ahead (s=1 eligible), but another 2κ+δ+0.1 = 7.1
+        // behind blocks s=1; s=2 needs a neighbor 2·2κ−δ = 11 ahead.
+        let o = evaluate(0.0, &[5.0, -7.1], K, D);
+        assert!(!o.fast);
+        // With a neighbor 11 ahead, s=2 works despite the laggard.
+        let o = evaluate(0.0, &[11.0, -7.1], K, D);
+        assert!(o.fast);
+    }
+
+    #[test]
+    fn slow_blocked_by_leading_neighbor() {
+        // One neighbor 2 behind, but another κ+δ+0.1 = 4.1 ahead blocks
+        // s=1; s=2 needs a neighbor 3κ−δ = 8 behind.
+        let o = evaluate(0.0, &[-2.0, 4.1], K, D);
+        assert!(!o.slow);
+        let o = evaluate(0.0, &[-8.0, 4.1], K, D);
+        assert!(o.slow);
+    }
+
+    #[test]
+    fn higher_levels_engage() {
+        // s=3 fast: neighbor at 6κ − δ = 17 ahead, another 17.5 behind...
+        // blocked: need max_down <= 6κ + δ = 19 — 17.5 qualifies.
+        let o = evaluate(0.0, &[17.0, -17.5], K, D);
+        assert!(o.fast);
+        // s=3 slow: neighbor at 5κ − δ = 14 behind, leader at 14 ahead
+        // (≤ 5κ + δ = 16).
+        let o = evaluate(0.0, &[-14.0, 14.0], K, D);
+        assert!(o.slow);
+    }
+
+    #[test]
+    fn mutual_exclusion_on_grid_of_inputs() {
+        // Lemma 4.5 for κ = 3δ: sweep a grid of (up, down) pairs.
+        let vals: Vec<f64> = (-40..=40).map(|i| i as f64 * 0.25).collect();
+        for &up in &vals {
+            for &down in &vals {
+                let o = evaluate(0.0, &[up, -down], K, D);
+                assert!(
+                    !(o.fast && o.slow),
+                    "both triggers at up={up}, down={down}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditions_are_zero_slack_triggers() {
+        // FC needs a neighbor at 2κ = 6 exactly.
+        assert!(conditions(0.0, &[6.0], K).fast);
+        assert!(!conditions(0.0, &[5.9], K).fast);
+        // SC needs a neighbor at κ = 3 behind.
+        assert!(conditions(0.0, &[-3.0], K).slow);
+        assert!(!conditions(0.0, &[-2.9], K).slow);
+    }
+
+    #[test]
+    fn condition_implies_trigger() {
+        // Whenever FC holds, FT holds (slack only widens); Definition 4.6's
+        // faithfulness relies on this plus estimate accuracy.
+        let vals: Vec<f64> = (-30..=30).map(|i| i as f64 * 0.5).collect();
+        for &a in &vals {
+            for &b in &vals {
+                let c = conditions(0.0, &[a, b], K);
+                let t = evaluate(0.0, &[a, b], K, D);
+                if c.fast {
+                    assert!(t.fast, "FC without FT at ({a},{b})");
+                }
+                if c.slow {
+                    assert!(t.slow, "SC without ST at ({a},{b})");
+                }
+            }
+        }
+    }
+}

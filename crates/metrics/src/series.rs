@@ -1,0 +1,218 @@
+//! Time series of scalar measurements.
+
+use std::fmt;
+
+/// A time-ordered sequence of `(t, value)` points.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_metrics::series::TimeSeries;
+///
+/// let mut s = TimeSeries::new();
+/// s.push(0.0, 1.0);
+/// s.push(1.0, 3.0);
+/// s.push(2.0, 2.0);
+/// assert_eq!(s.max(), Some(3.0));
+/// assert_eq!(s.value_at_or_before(1.5), Some(3.0));
+/// assert_eq!(s.after(0.5).max(), Some(3.0));
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Builds a series from `(t, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if times are not non-decreasing or any value is NaN.
+    #[must_use]
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in points {
+            s.push(t, v);
+        }
+        s
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last point's time, or if either input is
+    /// NaN.
+    pub fn push(&mut self, t: f64, value: f64) {
+        assert!(!t.is_nan() && !value.is_nan(), "series points must not be NaN");
+        if let Some(&(last_t, _)) = self.points.last() {
+            assert!(t >= last_t, "series times must be non-decreasing");
+        }
+        self.points.push((t, value));
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The underlying points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Iterates over the values.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// Maximum value, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Minimum value, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.min(v)))
+        })
+    }
+
+    /// Mean value, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.values().sum::<f64>() / self.len() as f64)
+        }
+    }
+
+    /// The last value, or `None` if empty.
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// The value of the latest point with time ≤ `t`, or `None` if `t`
+    /// precedes the series.
+    #[must_use]
+    pub fn value_at_or_before(&self, t: f64) -> Option<f64> {
+        match self
+            .points
+            .binary_search_by(|&(pt, _)| pt.partial_cmp(&t).expect("no NaN"))
+        {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// The sub-series with time ≥ `t0` (for steady-state analysis).
+    #[must_use]
+    pub fn after(&self, t0: f64) -> TimeSeries {
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t >= t0)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TimeSeries(len={}, max={:?})",
+            self.len(),
+            self.max()
+        )
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        TimeSeries::from_points(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_queries() {
+        let s: TimeSeries = vec![(0.0, 2.0), (1.0, -1.0), (2.0, 5.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.last(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.value_at_or_before(1.0), None);
+    }
+
+    #[test]
+    fn lookup_by_time() {
+        let s = TimeSeries::from_points(vec![(1.0, 10.0), (2.0, 20.0), (4.0, 40.0)]);
+        assert_eq!(s.value_at_or_before(0.5), None);
+        assert_eq!(s.value_at_or_before(1.0), Some(10.0));
+        assert_eq!(s.value_at_or_before(3.0), Some(20.0));
+        assert_eq!(s.value_at_or_before(9.0), Some(40.0));
+    }
+
+    #[test]
+    fn after_filters_prefix() {
+        let s = TimeSeries::from_points(vec![(0.0, 9.0), (5.0, 1.0), (6.0, 2.0)]);
+        let tail = s.after(4.9);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.max(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_regression() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 0.0);
+        s.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn equal_times_allowed() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 0.0);
+        s.push(1.0, 1.0);
+        assert_eq!(s.len(), 2);
+    }
+}

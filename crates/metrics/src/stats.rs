@@ -1,0 +1,220 @@
+//! Summary statistics and curve fitting.
+
+/// Summary of a sample: count, extremes, mean, and selected quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_metrics::stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.mean, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    #[must_use]
+    pub fn of(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "samples must not be NaN");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            count: data.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: data.iter().sum::<f64>() / data.len() as f64,
+            median: quantile_sorted(&sorted, 0.5),
+            p95: quantile_sorted(&sorted, 0.95),
+        }
+    }
+}
+
+/// Quantile (linear interpolation) of already-sorted data, `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Quantile of unsorted data.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, contains NaN, or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Least-squares line fit through `(x, y)` points.
+///
+/// # Panics
+///
+/// Panics with fewer than two points or when all `x` coincide.
+#[must_use]
+pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-30, "degenerate x values");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `y ≈ a·log2(x) + b`, returning the fit in log-x coordinates.
+///
+/// Useful for verifying the paper's `O(κ·log D)` local-skew scaling.
+///
+/// # Panics
+///
+/// Panics if any `x ≤ 0` or fewer than two points are given.
+#[must_use]
+pub fn fit_log2(points: &[(f64, f64)]) -> LineFit {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0, "log fit requires positive x");
+            (x.log2(), y)
+        })
+        .collect();
+    fit_line(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.p95 - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [0.0, 10.0];
+        assert_eq!(quantile(&data, 0.0), 0.0);
+        assert_eq!(quantile(&data, 0.5), 5.0);
+        assert_eq!(quantile(&data, 1.0), 10.0);
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn perfect_line_fit() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let fit = fit_line(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let fit = fit_line(&pts);
+        assert!((fit.slope - 2.0).abs() < 0.02);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn log_fit_recovers_log_scaling() {
+        let pts: Vec<(f64, f64)> = [2.0f64, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&d| (d, 5.0 * d.log2() + 2.0))
+            .collect();
+        let fit = fit_log2(&pts);
+        assert!((fit.slope - 5.0).abs() < 1e-9);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared() {
+        let fit = fit_line(&[(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,203 @@
+//! ASCII table and CSV formatting for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned ASCII table builder.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_metrics::table::Table;
+///
+/// let mut t = Table::new(&["D", "local skew"]);
+/// t.row(&["4".into(), "0.012".into()]);
+/// t.row(&["8".into(), "0.016".into()]);
+/// let s = t.render();
+/// assert!(s.contains("local skew"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are given.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "tables need at least one column");
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of formatted floats (6 significant
+    /// digits) prefixed by a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `1 + values.len()` differs from the header width.
+    pub fn row_labeled(&mut self, label: &str, values: &[f64]) {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(values.iter().map(|v| format_sig(*v)));
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 6 significant digits, using scientific notation for
+/// very large/small magnitudes.
+#[must_use]
+pub fn format_sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if !(1e-4..1e7).contains(&a) {
+        format!("{v:.4e}")
+    } else {
+        let digits = (6 - (a.log10().floor() as i32) - 1).clamp(0, 9) as usize;
+        format!("{v:.digits$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2.5".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length (aligned).
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a,b", "c"]);
+        t.row(&["x\"y".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c\n"));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn labeled_rows_format_floats() {
+        let mut t = Table::new(&["case", "x", "y"]);
+        t.row_labeled("run1", &[0.000123456, 123456.789]);
+        let csv = t.to_csv();
+        assert!(csv.contains("run1"), "{csv}");
+        assert!(csv.contains("0.000123456"), "{csv}");
+    }
+
+    #[test]
+    fn sig_format_edges() {
+        assert_eq!(format_sig(0.0), "0");
+        assert_eq!(format_sig(1.0), "1.00000");
+        assert!(format_sig(1e-9).contains('e'));
+        assert!(format_sig(-3.25e9).contains('e'));
+        assert_eq!(format_sig(123456.7), "123457");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

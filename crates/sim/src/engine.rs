@@ -1,0 +1,1109 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns, per node: a drifting [`HardwareClock`], a set of *clock
+//! tracks*, and a [`Behavior`]. A track is a value that advances as
+//! `value(t) = anchor + m · (H_v(t) − H_anchor)` for a behavior-controlled
+//! multiplier `m > 0`; the main track of node `v` is its logical clock
+//! `L_v`. Because hardware clocks are piecewise linear and multipliers are
+//! piecewise constant, timers set at *track targets* can be inverted to
+//! exact Newtonian instants — the engine replays the paper's continuous-time
+//! model without discretization error.
+//!
+//! Changing a multiplier (or jumping a track) re-anchors the track and
+//! transparently reschedules every pending timer on it; stale heap entries
+//! are skipped via generation counters.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::{HardwareClock, RateModel};
+use crate::network::{DelayConfig, DelayDistribution};
+use crate::node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{ClockSample, Row, Trace};
+
+/// Global simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Message delay bounds and distribution.
+    pub delay: DelayConfig,
+    /// Hardware clock drift bound ρ.
+    pub rho: f64,
+    /// Default hardware rate model for nodes without an override.
+    pub rate_model: RateModel,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// If set, record a [`ClockSample`] every interval of Newtonian time.
+    pub sample_interval: Option<SimDuration>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            delay: DelayConfig::default(),
+            rho: 1e-4,
+            rate_model: RateModel::default(),
+            seed: 0,
+            sample_interval: None,
+        }
+    }
+}
+
+/// One logical clock track.
+#[derive(Debug, Clone, Copy)]
+struct Track {
+    /// Hardware reading at the last re-anchoring.
+    hw_anchor: f64,
+    /// Track value at the last re-anchoring.
+    value_anchor: f64,
+    /// Current rate multiplier relative to the hardware clock.
+    multiplier: f64,
+}
+
+impl Track {
+    fn value_at(&self, hw: f64) -> f64 {
+        self.value_anchor + self.multiplier * (hw - self.hw_anchor)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerSlot {
+    node: NodeId,
+    track: TrackId,
+    target: f64,
+    tag: TimerTag,
+    generation: u32,
+    active: bool,
+}
+
+#[derive(Debug)]
+enum Pending<M> {
+    Timer { id: usize, generation: u32 },
+    Message { from: NodeId, to: NodeId, msg: M },
+    Sample,
+}
+
+struct HeapEntry<M> {
+    time: SimTime,
+    seq: u64,
+    pending: Pending<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Counters describing how much work a run performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched (timers + deliveries + samples).
+    pub events: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Timers fired.
+    pub timers: u64,
+}
+
+/// Everything the engine owns except the behaviors (split so behaviors can
+/// be called with a mutable view of the rest).
+struct SimState<M> {
+    now: SimTime,
+    config: SimConfig,
+    adjacency: Vec<Vec<NodeId>>,
+    clocks: Vec<HardwareClock>,
+    tracks: Vec<Vec<Track>>,
+    /// node → track → pending timer ids.
+    track_timers: Vec<Vec<Vec<usize>>>,
+    timer_slots: Vec<TimerSlot>,
+    timer_free: Vec<usize>,
+    queue: BinaryHeap<HeapEntry<M>>,
+    seq: u64,
+    delay_rng: SimRng,
+    node_rngs: Vec<SimRng>,
+    trace: Trace,
+    stats: SimStats,
+}
+
+impl<M: Clone> SimState<M> {
+    fn push(&mut self, time: SimTime, pending: Pending<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(HeapEntry { time, seq, pending });
+    }
+
+    fn hardware_now(&mut self, node: NodeId) -> f64 {
+        let now = self.now;
+        self.clocks[node.index()].hardware_time(now)
+    }
+
+    fn track_value(&mut self, node: NodeId, track: TrackId) -> f64 {
+        let hw = self.hardware_now(node);
+        self.tracks[node.index()][track.index()].value_at(hw)
+    }
+
+    /// Newtonian time at which `track` of `node` reaches `target`; never
+    /// earlier than `now`.
+    fn when_track_reaches(&mut self, node: NodeId, track: TrackId, target: f64) -> SimTime {
+        let tr = self.tracks[node.index()][track.index()];
+        let hw_target = tr.hw_anchor + (target - tr.value_anchor) / tr.multiplier;
+        let hw_now = self.hardware_now(node);
+        if hw_target <= hw_now {
+            return self.now;
+        }
+        self.clocks[node.index()].when_hardware_reaches(hw_target)
+    }
+
+    fn schedule_timer_entry(&mut self, id: usize) {
+        let slot = self.timer_slots[id];
+        let time = self.when_track_reaches(slot.node, slot.track, slot.target);
+        self.push(
+            time,
+            Pending::Timer {
+                id,
+                generation: slot.generation,
+            },
+        );
+    }
+
+    fn set_timer_at(&mut self, node: NodeId, track: TrackId, target: f64, tag: TimerTag) -> TimerId {
+        assert!(
+            track.index() < self.tracks[node.index()].len(),
+            "unknown track {track:?} on {node}"
+        );
+        let slot = TimerSlot {
+            node,
+            track,
+            target,
+            tag,
+            generation: 0,
+            active: true,
+        };
+        let id = if let Some(id) = self.timer_free.pop() {
+            let generation = self.timer_slots[id].generation.wrapping_add(1);
+            self.timer_slots[id] = TimerSlot { generation, ..slot };
+            id
+        } else {
+            self.timer_slots.push(slot);
+            self.timer_slots.len() - 1
+        };
+        self.track_timers[node.index()][track.index()].push(id);
+        self.schedule_timer_entry(id);
+        TimerId(id)
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        let id = timer.0;
+        if id >= self.timer_slots.len() || !self.timer_slots[id].active {
+            return;
+        }
+        let slot = self.timer_slots[id];
+        self.timer_slots[id].active = false;
+        let list = &mut self.track_timers[slot.node.index()][slot.track.index()];
+        if let Some(pos) = list.iter().position(|&x| x == id) {
+            list.swap_remove(pos);
+        }
+        self.timer_free.push(id);
+    }
+
+    /// Re-anchors a track at the current instant with a new multiplier and
+    /// (optionally) a new value, rescheduling its pending timers.
+    fn reanchor(&mut self, node: NodeId, track: TrackId, new_value: Option<f64>, new_mult: f64) {
+        assert!(new_mult > 0.0, "track multipliers must be positive");
+        let hw = self.hardware_now(node);
+        let tr = &mut self.tracks[node.index()][track.index()];
+        let value = new_value.unwrap_or_else(|| tr.value_at(hw));
+        *tr = Track {
+            hw_anchor: hw,
+            value_anchor: value,
+            multiplier: new_mult,
+        };
+        let ids: Vec<usize> = self.track_timers[node.index()][track.index()].clone();
+        for id in ids {
+            self.timer_slots[id].generation = self.timer_slots[id].generation.wrapping_add(1);
+            self.schedule_timer_entry(id);
+        }
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let delay = self.config.delay.sample(from, to, &mut self.delay_rng);
+        let time = self.now + delay;
+        self.push(time, Pending::Message { from, to, msg });
+    }
+
+    fn take_sample(&mut self) {
+        let now = self.now;
+        let n = self.tracks.len();
+        let mut logical = Vec::with_capacity(n);
+        let mut hardware = Vec::with_capacity(n);
+        for i in 0..n {
+            let hw = self.clocks[i].hardware_time(now);
+            logical.push(self.tracks[i][TrackId::MAIN.index()].value_at(hw));
+            hardware.push(hw);
+        }
+        self.trace.samples.push(ClockSample {
+            t: now,
+            logical,
+            hardware,
+        });
+    }
+}
+
+/// The mutable view of the simulation handed to behavior callbacks.
+///
+/// All interaction with the world — clocks, timers, messaging, tracing —
+/// goes through this context. See [`Behavior`] for an example.
+pub struct Ctx<'a, M> {
+    state: &'a mut SimState<M>,
+    node: NodeId,
+}
+
+impl<M> std::fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ctx(node={}, now={})", self.node, self.state.now)
+    }
+}
+
+impl<M: Clone> Ctx<'_, M> {
+    /// The node this callback belongs to.
+    #[must_use]
+    pub fn my_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Neighbors of this node in the communication graph.
+    #[must_use]
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.state.adjacency[self.node.index()]
+    }
+
+    /// Current reading of this node's hardware clock.
+    #[must_use]
+    pub fn hardware_now(&mut self) -> f64 {
+        self.state.hardware_now(self.node)
+    }
+
+    /// Current Newtonian time.
+    ///
+    /// Correct-algorithm behaviors must not base decisions on this — it
+    /// exists for Byzantine adversaries (which are omniscient by definition)
+    /// and for trace annotation.
+    #[must_use]
+    pub fn newtonian_now(&self) -> SimTime {
+        self.state.now
+    }
+
+    /// Current value of one of this node's clock tracks.
+    #[must_use]
+    pub fn track_value(&mut self, track: TrackId) -> f64 {
+        self.state.track_value(self.node, track)
+    }
+
+    /// Current rate multiplier of a track.
+    #[must_use]
+    pub fn multiplier(&self, track: TrackId) -> f64 {
+        self.state.tracks[self.node.index()][track.index()].multiplier
+    }
+
+    /// Sets the rate multiplier of a track (relative to the hardware
+    /// clock), re-anchoring it at the current instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not strictly positive.
+    pub fn set_multiplier(&mut self, track: TrackId, multiplier: f64) {
+        self.state.reanchor(self.node, track, None, multiplier);
+    }
+
+    /// Discontinuously sets a track's value, keeping its multiplier.
+    ///
+    /// Pending timers whose targets are now in the past fire immediately
+    /// (at the current instant, after this callback returns).
+    pub fn jump_track(&mut self, track: TrackId, value: f64) {
+        let m = self.multiplier(track);
+        self.state.reanchor(self.node, track, Some(value), m);
+    }
+
+    /// Creates an additional clock track with the given initial value and
+    /// multiplier, returning its id.
+    pub fn new_track(&mut self, initial: f64, multiplier: f64) -> TrackId {
+        assert!(multiplier > 0.0, "track multipliers must be positive");
+        let hw = self.state.hardware_now(self.node);
+        let tracks = &mut self.state.tracks[self.node.index()];
+        tracks.push(Track {
+            hw_anchor: hw,
+            value_anchor: initial,
+            multiplier,
+        });
+        self.state.track_timers[self.node.index()].push(Vec::new());
+        TrackId(tracks.len() - 1)
+    }
+
+    /// Schedules [`Behavior::on_timer`] for when `track` reaches `target`.
+    ///
+    /// If the target has already been reached, the timer fires at the
+    /// current instant (after this callback returns).
+    pub fn set_timer_at(&mut self, track: TrackId, target: f64, tag: TimerTag) -> TimerId {
+        self.state.set_timer_at(self.node, track, target, tag)
+    }
+
+    /// Cancels a pending timer; cancelling an already-fired or cancelled
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.state.cancel_timer(timer);
+    }
+
+    /// Sends `msg` to a neighbor; delivery is delayed per the configured
+    /// [`DelayConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is neither a neighbor nor the node itself — the
+    /// communication graph restricts even Byzantine nodes.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            to == self.node || self.state.adjacency[self.node.index()].contains(&to),
+            "{} attempted to send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.state.send(self.node, to, msg);
+    }
+
+    /// Sends `msg` to every neighbor (not to the sender itself).
+    pub fn broadcast(&mut self, msg: M) {
+        let neighbors = self.state.adjacency[self.node.index()].clone();
+        for to in neighbors {
+            self.state.send(self.node, to, msg.clone());
+        }
+    }
+
+    /// Sends `msg` to every neighbor *and* to the sender itself (loopback
+    /// with the same delay bounds) — the pulse semantics of ClusterSync,
+    /// where a node also observes its own pulse.
+    pub fn broadcast_with_loopback(&mut self, msg: M) {
+        self.broadcast(msg.clone());
+        self.state.send(self.node, self.node, msg);
+    }
+
+    /// Sends `msg` only to the sender itself (a *virtual* pulse, used by
+    /// silent estimator instances).
+    pub fn send_self(&mut self, msg: M) {
+        self.state.send(self.node, self.node, msg);
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.state.node_rngs[self.node.index()]
+    }
+
+    /// Emits an untyped trace row.
+    pub fn emit(&mut self, kind: &'static str, values: Vec<f64>) {
+        let row = Row {
+            t: self.state.now,
+            node: self.node,
+            kind,
+            values,
+        };
+        self.state.trace.rows.push(row);
+    }
+}
+
+/// Builder for a [`Simulation`].
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_sim::engine::{SimBuilder, SimConfig};
+/// use ftgcs_sim::node::{Behavior, NodeId, TimerTag};
+/// use ftgcs_sim::engine::Ctx;
+///
+/// struct Quiet;
+/// impl Behavior<()> for Quiet {
+///     fn on_start(&mut self, _: &mut Ctx<'_, ()>) {}
+///     fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+///     fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: TimerTag) {}
+/// }
+///
+/// let mut b = SimBuilder::new(SimConfig::default());
+/// let a = b.add_node(Box::new(Quiet));
+/// let c = b.add_node(Box::new(Quiet));
+/// b.add_edge(a, c);
+/// let sim = b.build();
+/// assert_eq!(sim.node_count(), 2);
+/// ```
+pub struct SimBuilder<M> {
+    config: SimConfig,
+    behaviors: Vec<Box<dyn Behavior<M>>>,
+    adjacency: Vec<Vec<NodeId>>,
+    rate_overrides: Vec<Option<RateModel>>,
+}
+
+impl<M> std::fmt::Debug for SimBuilder<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SimBuilder(nodes={})", self.behaviors.len())
+    }
+}
+
+impl<M: Clone> SimBuilder<M> {
+    /// Creates a builder with the given configuration and no nodes.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        SimBuilder {
+            config,
+            behaviors: Vec::new(),
+            adjacency: Vec::new(),
+            rate_overrides: Vec::new(),
+        }
+    }
+
+    /// Adds a node driven by `behavior`, returning its id.
+    pub fn add_node(&mut self, behavior: Box<dyn Behavior<M>>) -> NodeId {
+        self.behaviors.push(behavior);
+        self.adjacency.push(Vec::new());
+        self.rate_overrides.push(None);
+        NodeId(self.behaviors.len() - 1)
+    }
+
+    /// Adds an undirected communication edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, unknown endpoints, or duplicate edges.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert_ne!(a, b, "self-loops are implicit (loopback), not edges");
+        let n = self.behaviors.len();
+        assert!(a.index() < n && b.index() < n, "unknown endpoint");
+        assert!(
+            !self.adjacency[a.index()].contains(&b),
+            "duplicate edge {a}-{b}"
+        );
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+    }
+
+    /// Overrides the hardware rate model of one node.
+    pub fn set_rate_model(&mut self, node: NodeId, model: RateModel) {
+        self.rate_overrides[node.index()] = Some(model);
+    }
+
+    /// Finalizes the simulation. Behaviors' `on_start` runs on the first
+    /// [`Simulation::run_until`] call.
+    #[must_use]
+    pub fn build(self) -> Simulation<M> {
+        let n = self.behaviors.len();
+        let root = SimRng::seed_from(self.config.seed);
+        let clocks = (0..n)
+            .map(|i| {
+                let model = self.rate_overrides[i]
+                    .clone()
+                    .unwrap_or_else(|| self.config.rate_model.clone());
+                HardwareClock::new(self.config.rho, model, root.derive("clock", i as u64))
+            })
+            .collect();
+        let node_rngs = (0..n).map(|i| root.derive("node", i as u64)).collect();
+        let tracks = (0..n)
+            .map(|_| {
+                vec![Track {
+                    hw_anchor: 0.0,
+                    value_anchor: 0.0,
+                    multiplier: 1.0,
+                }]
+            })
+            .collect();
+        let state = SimState {
+            now: SimTime::ZERO,
+            config: self.config,
+            adjacency: self.adjacency,
+            clocks,
+            tracks,
+            track_timers: (0..n).map(|_| vec![Vec::new()]).collect(),
+            timer_slots: Vec::new(),
+            timer_free: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            delay_rng: root.derive("delay", 0),
+            node_rngs,
+            trace: Trace::new(),
+            stats: SimStats::default(),
+        };
+        Simulation {
+            state,
+            behaviors: self.behaviors.into_iter().map(Some).collect(),
+            started: false,
+        }
+    }
+}
+
+/// A runnable discrete-event simulation.
+pub struct Simulation<M> {
+    state: SimState<M>,
+    behaviors: Vec<Option<Box<dyn Behavior<M>>>>,
+    started: bool,
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Simulation(nodes={}, now={}, events={})",
+            self.behaviors.len(),
+            self.state.now,
+            self.state.stats.events
+        )
+    }
+}
+
+impl<M: Clone> Simulation<M> {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.behaviors.len()
+    }
+
+    /// Current Newtonian time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.state.now
+    }
+
+    /// Work counters for the run so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.state.stats
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.state.trace
+    }
+
+    /// Consumes the simulation and returns its trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.state.trace
+    }
+
+    /// Current main logical clock value `L_v` of a node.
+    #[must_use]
+    pub fn logical_value(&mut self, node: NodeId) -> f64 {
+        self.state.track_value(node, TrackId::MAIN)
+    }
+
+    /// Current value of an arbitrary track of a node.
+    #[must_use]
+    pub fn track_value_of(&mut self, node: NodeId, track: TrackId) -> f64 {
+        self.state.track_value(node, track)
+    }
+
+    /// Current hardware reading of a node.
+    #[must_use]
+    pub fn hardware_value(&mut self, node: NodeId) -> f64 {
+        self.state.hardware_now(node)
+    }
+
+    /// Switches the message-delay distribution mid-run. The bounds
+    /// `[d−U, d]` are unchanged — the adversary is free to re-pick the
+    /// schedule within them at any time, and regime switches (stretch
+    /// with maximal delays, then compress with minimal ones) are the
+    /// classic worst case for master/slave synchronization. Messages
+    /// already in flight keep their sampled delays.
+    pub fn set_delay_distribution(&mut self, distribution: DelayDistribution) {
+        self.state.config.delay.set_distribution(distribution);
+    }
+
+    /// Changes the clock-sampling interval mid-run (e.g. to record a
+    /// short window at high resolution). Takes effect from the next
+    /// pending sample; if sampling was configured off, a new chain
+    /// starts at the current time.
+    pub fn set_sample_interval(&mut self, interval: Option<SimDuration>) {
+        let was_off = self.state.config.sample_interval.is_none();
+        self.state.config.sample_interval = interval;
+        if was_off && interval.is_some() && self.started {
+            self.state.push(self.state.now, Pending::Sample);
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if self.state.config.sample_interval.is_some() {
+            self.state.push(SimTime::ZERO, Pending::Sample);
+        }
+        for i in 0..self.behaviors.len() {
+            self.dispatch_start(NodeId(i));
+        }
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        let mut behavior = self.behaviors[node.index()]
+            .take()
+            .expect("behavior present");
+        {
+            let mut ctx = Ctx {
+                state: &mut self.state,
+                node,
+            };
+            behavior.on_start(&mut ctx);
+        }
+        self.behaviors[node.index()] = Some(behavior);
+    }
+
+    /// Processes events until Newtonian time `until` (inclusive); `now()`
+    /// afterwards equals `until` even if the queue drained early.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start_if_needed();
+        while let Some(entry) = self.state.queue.peek() {
+            if entry.time > until {
+                break;
+            }
+            let entry = self.state.queue.pop().expect("peeked");
+            debug_assert!(entry.time >= self.state.now, "time went backwards");
+            self.state.now = entry.time;
+            self.state.stats.events += 1;
+            match entry.pending {
+                Pending::Timer { id, generation } => {
+                    let slot = self.state.timer_slots[id];
+                    if !slot.active || slot.generation != generation {
+                        continue;
+                    }
+                    // Retire the timer before dispatch so the behavior can
+                    // set a new one from the callback.
+                    self.state.timer_slots[id].active = false;
+                    let list =
+                        &mut self.state.track_timers[slot.node.index()][slot.track.index()];
+                    if let Some(pos) = list.iter().position(|&x| x == id) {
+                        list.swap_remove(pos);
+                    }
+                    self.state.timer_free.push(id);
+                    self.state.stats.timers += 1;
+                    let mut behavior = self.behaviors[slot.node.index()]
+                        .take()
+                        .expect("behavior present");
+                    {
+                        let mut ctx = Ctx {
+                            state: &mut self.state,
+                            node: slot.node,
+                        };
+                        behavior.on_timer(&mut ctx, slot.tag);
+                    }
+                    self.behaviors[slot.node.index()] = Some(behavior);
+                }
+                Pending::Message { from, to, msg } => {
+                    self.state.stats.messages += 1;
+                    let mut behavior =
+                        self.behaviors[to.index()].take().expect("behavior present");
+                    {
+                        let mut ctx = Ctx {
+                            state: &mut self.state,
+                            node: to,
+                        };
+                        behavior.on_message(&mut ctx, from, &msg);
+                    }
+                    self.behaviors[to.index()] = Some(behavior);
+                }
+                Pending::Sample => {
+                    self.state.take_sample();
+                    // Re-arm unconditionally: events beyond `until` stay
+                    // queued, so sampling continues across consecutive
+                    // run_until calls (`None` pauses the chain; a later
+                    // set_sample_interval resumes it).
+                    if let Some(interval) = self.state.config.sample_interval {
+                        self.state.push(self.state.now + interval, Pending::Sample);
+                    }
+                }
+            }
+        }
+        self.state.now = until;
+    }
+
+    /// Runs for a further duration of Newtonian time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let until = self.state.now + duration;
+        self.run_until(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DelayDistribution;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Clone)]
+    enum Msg {
+        Ping,
+    }
+
+    struct PingPong {
+        log: Rc<RefCell<Vec<(NodeId, f64)>>>,
+        max_rounds: usize,
+        seen: usize,
+    }
+
+    impl Behavior<Msg> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if ctx.my_id() == NodeId(0) {
+                ctx.broadcast(Msg::Ping);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {
+            self.log
+                .borrow_mut()
+                .push((ctx.my_id(), ctx.newtonian_now().as_secs()));
+            self.seen += 1;
+            if self.seen < self.max_rounds {
+                ctx.broadcast(Msg::Ping);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {}
+    }
+
+    fn fixed_delay_config() -> SimConfig {
+        SimConfig {
+            delay: DelayConfig::new(
+                SimDuration::from_millis(1.0),
+                SimDuration::ZERO,
+                DelayDistribution::Maximal,
+            ),
+            rho: 0.0,
+            rate_model: RateModel::Constant { frac: 0.0 },
+            seed: 42,
+            sample_interval: None,
+        }
+    }
+
+    #[test]
+    fn messages_arrive_with_exact_delay() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new(fixed_delay_config());
+        let a = b.add_node(Box::new(PingPong {
+            log: log.clone(),
+            max_rounds: 3,
+            seen: 0,
+        }));
+        let c = b.add_node(Box::new(PingPong {
+            log: log.clone(),
+            max_rounds: 3,
+            seen: 0,
+        }));
+        b.add_edge(a, c);
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1.0));
+        let log = log.borrow();
+        // Ping bounces: n1 at 1ms, n0 at 2ms, n1 at 3ms, ...
+        assert!(log.len() >= 4);
+        for (i, (node, t)) in log.iter().take(4).enumerate() {
+            assert_eq!(node.index(), (i + 1) % 2);
+            assert!((t - 1e-3 * (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    struct TimerNode {
+        fired: Rc<RefCell<Vec<f64>>>,
+        plan: &'static str,
+    }
+
+    impl Behavior<()> for TimerNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            match self.plan {
+                "simple" => {
+                    ctx.set_timer_at(TrackId::MAIN, 2.0, TimerTag::new(0));
+                }
+                "retimed" => {
+                    ctx.set_timer_at(TrackId::MAIN, 2.0, TimerTag::new(0));
+                    // At logical 1.0, double the rate.
+                    ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1));
+                }
+                "jump" => {
+                    ctx.set_timer_at(TrackId::MAIN, 5.0, TimerTag::new(0));
+                    ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1));
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
+            match tag.kind {
+                0 => self.fired.borrow_mut().push(ctx.newtonian_now().as_secs()),
+                1 if self.plan == "retimed" => ctx.set_multiplier(TrackId::MAIN, 2.0),
+                1 if self.plan == "jump" => ctx.jump_track(TrackId::MAIN, 10.0),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn run_timer_plan(plan: &'static str) -> Vec<f64> {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new(fixed_delay_config());
+        b.add_node(Box::new(TimerNode {
+            fired: fired.clone(),
+            plan,
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(100.0));
+        let v = fired.borrow().clone();
+        v
+    }
+
+    #[test]
+    fn timer_fires_at_exact_logical_target() {
+        let fired = run_timer_plan("simple");
+        assert_eq!(fired.len(), 1);
+        assert!((fired[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplier_change_reschedules_timer() {
+        // Rate 1 until L=1 (t=1), then rate 2: L=2 at t = 1 + 0.5.
+        let fired = run_timer_plan("retimed");
+        assert_eq!(fired.len(), 1);
+        assert!((fired[0] - 1.5).abs() < 1e-12, "fired at {}", fired[0]);
+    }
+
+    #[test]
+    fn jump_past_target_fires_immediately() {
+        // Timer at L=5; at t=1 the track jumps to 10 → fires at t=1.
+        let fired = run_timer_plan("jump");
+        assert_eq!(fired.len(), 1);
+        assert!((fired[0] - 1.0).abs() < 1e-12, "fired at {}", fired[0]);
+    }
+
+    struct CancelNode {
+        fired: Rc<RefCell<Vec<u32>>>,
+    }
+
+    impl Behavior<()> for CancelNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            let t1 = ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1));
+            ctx.set_timer_at(TrackId::MAIN, 2.0, TimerTag::new(2));
+            ctx.cancel_timer(t1);
+            ctx.cancel_timer(t1); // double-cancel is a no-op
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
+            self.fired.borrow_mut().push(tag.kind);
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new(fixed_delay_config());
+        b.add_node(Box::new(CancelNode {
+            fired: fired.clone(),
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(*fired.borrow(), vec![2]);
+    }
+
+    struct Extra {
+        track: Option<TrackId>,
+    }
+
+    impl Behavior<()> for Extra {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            let tr = ctx.new_track(100.0, 0.5);
+            self.track = Some(tr);
+            ctx.set_timer_at(tr, 101.0, TimerTag::new(7));
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
+            assert_eq!(tag.kind, 7);
+            ctx.emit("extra_fired", vec![ctx.newtonian_now().as_secs()]);
+        }
+    }
+
+    #[test]
+    fn extra_tracks_advance_at_their_multiplier() {
+        let mut b = SimBuilder::new(fixed_delay_config());
+        b.add_node(Box::new(Extra { track: None }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(10.0));
+        // multiplier 0.5 → track gains 1.0 after 2 s.
+        let rows: Vec<_> = sim.trace().rows_of_kind("extra_fired").collect();
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].values[0] - 2.0).abs() < 1e-12);
+        assert_eq!(sim.track_value_of(NodeId(0), TrackId(1)), 100.0 + 0.5 * 10.0);
+    }
+
+    #[test]
+    fn sampling_records_grid() {
+        let mut config = fixed_delay_config();
+        config.sample_interval = Some(SimDuration::from_secs(0.25));
+        let mut b = SimBuilder::new(config);
+        b.add_node(Box::new(CancelNode {
+            fired: Rc::new(RefCell::new(Vec::new())),
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1.0));
+        let samples = &sim.trace().samples;
+        assert_eq!(samples.len(), 5); // t = 0, .25, .5, .75, 1.0
+        assert!((samples[4].logical[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = || {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut config = SimConfig {
+                seed: 7,
+                ..SimConfig::default()
+            };
+            config.sample_interval = Some(SimDuration::from_millis(100.0));
+            let mut b = SimBuilder::new(config);
+            let a = b.add_node(Box::new(PingPong {
+                log: log.clone(),
+                max_rounds: 50,
+                seen: 0,
+            }));
+            let c = b.add_node(Box::new(PingPong {
+                log: log.clone(),
+                max_rounds: 50,
+                seen: 0,
+            }));
+            b.add_edge(a, c);
+            let mut sim = b.build();
+            sim.run_until(SimTime::from_secs(1.0));
+            let v = log.borrow().clone();
+            (v, sim.stats())
+        };
+        let (l1, s1) = run();
+        let (l2, s2) = run();
+        assert_eq!(l1, l2);
+        assert_eq!(s1, s2);
+        assert!(s1.messages > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        struct Bad;
+        impl Behavior<()> for Bad {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.send(NodeId(1), ());
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: TimerTag) {}
+        }
+        let mut b = SimBuilder::new(fixed_delay_config());
+        b.add_node(Box::new(Bad));
+        b.add_node(Box::new(CancelNode {
+            fired: Rc::new(RefCell::new(Vec::new())),
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn run_until_advances_now_even_when_idle() {
+        let mut b = SimBuilder::<()>::new(fixed_delay_config());
+        b.add_node(Box::new(CancelNode {
+            fired: Rc::new(RefCell::new(Vec::new())),
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(3.5));
+        assert_eq!(sim.now(), SimTime::from_secs(3.5));
+        sim.run_for(SimDuration::from_secs(0.5));
+        assert_eq!(sim.now(), SimTime::from_secs(4.0));
+        assert!((sim.logical_value(NodeId(0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_survives_consecutive_run_until_calls() {
+        let mut config = fixed_delay_config();
+        config.sample_interval = Some(SimDuration::from_millis(100.0));
+        let mut b = SimBuilder::<()>::new(config);
+        b.add_node(Box::new(CancelNode {
+            fired: Rc::new(RefCell::new(Vec::new())),
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1.0));
+        let after_first = sim.trace().samples.len();
+        sim.run_until(SimTime::from_secs(2.0));
+        let after_second = sim.trace().samples.len();
+        assert!(after_first >= 10);
+        // The sample chain must keep running in the second window.
+        assert!(
+            after_second >= after_first + 9,
+            "sampling died between run_until calls: {after_first} -> {after_second}"
+        );
+    }
+
+    #[test]
+    fn sample_interval_can_be_retuned_mid_run() {
+        let mut config = fixed_delay_config();
+        config.sample_interval = Some(SimDuration::from_millis(500.0));
+        let mut b = SimBuilder::<()>::new(config);
+        b.add_node(Box::new(CancelNode {
+            fired: Rc::new(RefCell::new(Vec::new())),
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1.0));
+        let coarse = sim.trace().samples.len();
+        sim.set_sample_interval(Some(SimDuration::from_millis(10.0)));
+        sim.run_until(SimTime::from_secs(2.0));
+        let fine = sim.trace().samples.len() - coarse;
+        assert!(coarse <= 4, "coarse phase oversampled: {coarse}");
+        // The new interval takes effect after the pending coarse sample
+        // (up to one old interval of latency), so ~50 of the 100 fine
+        // slots are guaranteed.
+        assert!(fine >= 45, "fine phase undersampled: {fine}");
+    }
+
+    #[test]
+    fn delay_distribution_switch_applies_to_new_messages() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut config = fixed_delay_config();
+        // U = 0.5 ms so Maximal (1 ms) and Minimal (0.5 ms) differ.
+        config.delay = DelayConfig::new(
+            SimDuration::from_millis(1.0),
+            SimDuration::from_micros(500.0),
+            DelayDistribution::Maximal,
+        );
+        let mut b = SimBuilder::new(config);
+        let a = b.add_node(Box::new(PingPong {
+            log: log.clone(),
+            max_rounds: 100,
+            seen: 0,
+        }));
+        let c = b.add_node(Box::new(PingPong {
+            log: log.clone(),
+            max_rounds: 100,
+            seen: 0,
+        }));
+        b.add_edge(a, c);
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(0.0105));
+        // ~10 hops at 1 ms each.
+        let hops_maximal = log.borrow().len();
+        sim.set_delay_distribution(DelayDistribution::Minimal);
+        sim.run_until(SimTime::from_secs(0.021));
+        let hops_minimal = log.borrow().len() - hops_maximal;
+        // Same wall-clock window, half the delay: about twice the hops.
+        assert!(
+            hops_minimal >= hops_maximal + 5,
+            "minimal-delay phase should roughly double throughput: \
+             {hops_maximal} then {hops_minimal}"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Message-delay models.
+//!
+//! The model (paper, Section 2): a pulse sent by `v` at Newtonian time `p_v`
+//! is received by each neighbor at some time in `[p_v + d − U, p_v + d]`,
+//! where `d` is the maximum delay and `U` the delay uncertainty. The
+//! adversary chooses the actual delay within that window; [`DelayDistribution`]
+//! provides the standard adversarial and stochastic choices.
+
+use crate::node::NodeId;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Strategy for picking the actual delay of each message within `[d−U, d]`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum DelayDistribution {
+    /// Independent uniform draw per message (benign network).
+    #[default]
+    Uniform,
+    /// Every message takes the maximum delay `d`.
+    Maximal,
+    /// Every message takes the minimum delay `d − U`.
+    Minimal,
+    /// Classic worst case for two-node uncertainty arguments: messages from
+    /// lower to higher node id take `d`, the reverse direction takes `d−U`.
+    /// This maximizes the *perceived* offset between neighbors.
+    AsymmetricById,
+    /// Messages into even-indexed nodes are fast, into odd-indexed slow —
+    /// creates systematic disagreement inside clusters.
+    AlternatingByDst,
+}
+
+/// Complete delay configuration: bounds plus a distribution.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_sim::network::{DelayConfig, DelayDistribution};
+/// use ftgcs_sim::time::SimDuration;
+///
+/// let cfg = DelayConfig::new(
+///     SimDuration::from_millis(1.0),
+///     SimDuration::from_micros(100.0),
+///     DelayDistribution::Uniform,
+/// );
+/// assert_eq!(cfg.min_delay(), SimDuration::from_micros(900.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayConfig {
+    /// Maximum message delay `d`.
+    d: SimDuration,
+    /// Delay uncertainty `U ≤ d`.
+    u: SimDuration,
+    /// Distribution of actual delays within `[d−U, d]`.
+    distribution: DelayDistribution,
+}
+
+impl DelayConfig {
+    /// Creates a delay configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < U`, if either is negative, or if `d` is zero (the
+    /// model requires positive delays so causality is strict).
+    #[must_use]
+    pub fn new(d: SimDuration, u: SimDuration, distribution: DelayDistribution) -> Self {
+        assert!(d.as_secs() > 0.0, "maximum delay d must be positive");
+        assert!(u.as_secs() >= 0.0, "uncertainty U must be non-negative");
+        assert!(u <= d, "uncertainty U must not exceed maximum delay d");
+        DelayConfig { d, u, distribution }
+    }
+
+    /// Maximum delay `d`.
+    #[must_use]
+    pub fn max_delay(&self) -> SimDuration {
+        self.d
+    }
+
+    /// Delay uncertainty `U`.
+    #[must_use]
+    pub fn uncertainty(&self) -> SimDuration {
+        self.u
+    }
+
+    /// Minimum delay `d − U`.
+    #[must_use]
+    pub fn min_delay(&self) -> SimDuration {
+        self.d - self.u
+    }
+
+    /// The configured distribution.
+    #[must_use]
+    pub fn distribution(&self) -> &DelayDistribution {
+        &self.distribution
+    }
+
+    /// Replaces the distribution, keeping the `[d−U, d]` bounds.
+    pub fn set_distribution(&mut self, distribution: DelayDistribution) {
+        self.distribution = distribution;
+    }
+
+    /// Samples the delay for one message from `src` to `dst`.
+    ///
+    /// The result always lies in `[d−U, d]`, whatever the distribution.
+    #[must_use]
+    pub fn sample(&self, src: NodeId, dst: NodeId, rng: &mut SimRng) -> SimDuration {
+        let lo = self.min_delay().as_secs();
+        let hi = self.d.as_secs();
+        let secs = match self.distribution {
+            DelayDistribution::Uniform => rng.uniform(lo, hi),
+            DelayDistribution::Maximal => hi,
+            DelayDistribution::Minimal => lo,
+            DelayDistribution::AsymmetricById => {
+                if src.index() < dst.index() {
+                    hi
+                } else {
+                    lo
+                }
+            }
+            DelayDistribution::AlternatingByDst => {
+                if dst.index().is_multiple_of(2) {
+                    lo
+                } else {
+                    hi
+                }
+            }
+        };
+        SimDuration::from_secs(secs)
+    }
+}
+
+impl Default for DelayConfig {
+    /// 1 ms maximum delay, 100 µs uncertainty, uniform draws.
+    fn default() -> Self {
+        DelayConfig::new(
+            SimDuration::from_millis(1.0),
+            SimDuration::from_micros(100.0),
+            DelayDistribution::Uniform,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(dist: DelayDistribution) -> DelayConfig {
+        DelayConfig::new(
+            SimDuration::from_millis(2.0),
+            SimDuration::from_millis(0.5),
+            dist,
+        )
+    }
+
+    #[test]
+    fn uniform_stays_in_window() {
+        let c = cfg(DelayDistribution::Uniform);
+        let mut rng = SimRng::seed_from(0);
+        for _ in 0..500 {
+            let s = c.sample(NodeId(0), NodeId(1), &mut rng);
+            assert!(s >= c.min_delay() && s <= c.max_delay(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn extremal_distributions() {
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(
+            cfg(DelayDistribution::Maximal).sample(NodeId(0), NodeId(1), &mut rng),
+            SimDuration::from_millis(2.0)
+        );
+        assert_eq!(
+            cfg(DelayDistribution::Minimal).sample(NodeId(0), NodeId(1), &mut rng),
+            SimDuration::from_millis(1.5)
+        );
+    }
+
+    #[test]
+    fn asymmetric_depends_on_direction() {
+        let c = cfg(DelayDistribution::AsymmetricById);
+        let mut rng = SimRng::seed_from(0);
+        let up = c.sample(NodeId(0), NodeId(5), &mut rng);
+        let down = c.sample(NodeId(5), NodeId(0), &mut rng);
+        assert_eq!(up, c.max_delay());
+        assert_eq!(down, c.min_delay());
+    }
+
+    #[test]
+    fn alternating_depends_on_destination_parity() {
+        let c = cfg(DelayDistribution::AlternatingByDst);
+        let mut rng = SimRng::seed_from(0);
+        assert_eq!(c.sample(NodeId(1), NodeId(2), &mut rng), c.min_delay());
+        assert_eq!(c.sample(NodeId(2), NodeId(3), &mut rng), c.max_delay());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn rejects_u_above_d() {
+        let _ = DelayConfig::new(
+            SimDuration::from_millis(1.0),
+            SimDuration::from_millis(2.0),
+            DelayDistribution::Uniform,
+        );
+    }
+
+    #[test]
+    fn default_is_sane() {
+        let c = DelayConfig::default();
+        assert!(c.min_delay().is_positive());
+        assert_eq!(c.distribution(), &DelayDistribution::Uniform);
+    }
+}

@@ -1,0 +1,174 @@
+//! Trace recording.
+//!
+//! The engine records two kinds of data for offline analysis:
+//!
+//! * **Clock samples** — the main logical clock `L_v(t)` of every node on a
+//!   periodic Newtonian grid (plus hardware readings), which metrics code
+//!   turns into skew curves.
+//! * **Rows** — untyped, behavior-emitted records `(t, node, kind, values)`
+//!   used for algorithm-internal quantities (round corrections `Δ_v(r)`,
+//!   pulse times, trigger decisions, ...). Keeping rows untyped lets the
+//!   substrate stay independent of any particular algorithm.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One periodic snapshot of every node's clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSample {
+    /// Newtonian sample time.
+    pub t: SimTime,
+    /// Main logical clock `L_v(t)` per node, indexed by node id.
+    pub logical: Vec<f64>,
+    /// Hardware reading `H_v(t)` per node, indexed by node id.
+    pub hardware: Vec<f64>,
+}
+
+/// One behavior-emitted record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Newtonian emission time.
+    pub t: SimTime,
+    /// Emitting node.
+    pub node: NodeId,
+    /// Record kind, e.g. `"pulse"` or `"round"`. Kinds are defined by the
+    /// emitting algorithm crate.
+    pub kind: &'static str,
+    /// Numeric payload; meaning is kind-specific.
+    pub values: Vec<f64>,
+}
+
+/// Collected output of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_sim::trace::Trace;
+///
+/// let trace = Trace::default();
+/// assert!(trace.samples.is_empty());
+/// assert!(trace.rows_of_kind("pulse").next().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Periodic clock samples, in time order.
+    pub samples: Vec<ClockSample>,
+    /// Behavior-emitted rows, in emission order.
+    pub rows: Vec<Row>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Iterates over rows of one kind.
+    pub fn rows_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Row> + 'a {
+        self.rows.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Iterates over rows of one kind emitted by one node.
+    pub fn rows_of_node<'a>(
+        &'a self,
+        kind: &'a str,
+        node: NodeId,
+    ) -> impl Iterator<Item = &'a Row> + 'a {
+        self.rows_of_kind(kind).filter(move |r| r.node == node)
+    }
+
+    /// Returns the last sampled logical clock values, if any samples exist.
+    #[must_use]
+    pub fn final_logical(&self) -> Option<&[f64]> {
+        self.samples.last().map(|s| s.logical.as_slice())
+    }
+
+    /// Writes the clock samples as CSV (`t,node0,node1,...`) to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `out`.
+    pub fn write_samples_csv<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        if let Some(first) = self.samples.first() {
+            write!(out, "t")?;
+            for i in 0..first.logical.len() {
+                write!(out, ",n{i}")?;
+            }
+            writeln!(out)?;
+        }
+        for s in &self.samples {
+            write!(out, "{}", s.t.as_secs())?;
+            for v in &s.logical {
+                write!(out, ",{v}")?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            samples: vec![
+                ClockSample {
+                    t: SimTime::from_secs(0.0),
+                    logical: vec![0.0, 0.0],
+                    hardware: vec![0.0, 0.0],
+                },
+                ClockSample {
+                    t: SimTime::from_secs(1.0),
+                    logical: vec![1.0, 1.1],
+                    hardware: vec![1.0, 1.05],
+                },
+            ],
+            rows: vec![
+                Row {
+                    t: SimTime::from_secs(0.5),
+                    node: NodeId(0),
+                    kind: "pulse",
+                    values: vec![1.0],
+                },
+                Row {
+                    t: SimTime::from_secs(0.6),
+                    node: NodeId(1),
+                    kind: "round",
+                    values: vec![2.0, 3.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn filters_by_kind_and_node() {
+        let t = sample_trace();
+        assert_eq!(t.rows_of_kind("pulse").count(), 1);
+        assert_eq!(t.rows_of_kind("round").count(), 1);
+        assert_eq!(t.rows_of_kind("nope").count(), 0);
+        assert_eq!(t.rows_of_node("pulse", NodeId(0)).count(), 1);
+        assert_eq!(t.rows_of_node("pulse", NodeId(1)).count(), 0);
+    }
+
+    #[test]
+    fn final_logical_is_last_sample() {
+        let t = sample_trace();
+        assert_eq!(t.final_logical(), Some(&[1.0, 1.1][..]));
+        assert_eq!(Trace::new().final_logical(), None);
+    }
+
+    #[test]
+    fn csv_output_has_header_and_rows() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_samples_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "t,n0,n1");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].starts_with('1'));
+    }
+}

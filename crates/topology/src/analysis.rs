@@ -1,0 +1,152 @@
+//! Graph analysis: BFS distances, diameter, connectivity.
+//!
+//! The paper's skew bounds are stated in terms of the hop diameter `D` of
+//! the cluster graph `G`; these routines compute it for experiment sweeps
+//! and for predicted-bound curves.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// BFS hop distances from `source`; unreachable vertices get `usize::MAX`.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_topology::{generators::line, analysis::bfs_distances};
+///
+/// let g = line(4);
+/// assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < g.node_count(), "source out of range");
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Returns whether the graph is connected (the empty graph counts as
+/// connected).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != usize::MAX)
+}
+
+/// Eccentricity of `v`: the greatest hop distance from `v` to any vertex.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or empty.
+#[must_use]
+pub fn eccentricity(g: &Graph, v: usize) -> usize {
+    let dist = bfs_distances(g, v);
+    let max = dist.into_iter().max().expect("non-empty graph");
+    assert_ne!(max, usize::MAX, "graph must be connected");
+    max
+}
+
+/// Hop diameter `D`: the maximum eccentricity.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or empty.
+#[must_use]
+pub fn diameter(g: &Graph) -> usize {
+    g.nodes().map(|v| eccentricity(g, v)).max().expect("non-empty graph")
+}
+
+/// A BFS spanning tree rooted at `root`: `parent[v]` is `v`'s parent, with
+/// `parent[root] = root`.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or `root` is out of range.
+#[must_use]
+pub fn bfs_tree(g: &Graph, root: usize) -> Vec<usize> {
+    assert!(root < g.node_count(), "root out of range");
+    let mut parent = vec![usize::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    parent[root] = root;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if parent[w] == usize::MAX {
+                parent[w] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    assert!(
+        parent.iter().all(|&p| p != usize::MAX),
+        "graph must be connected"
+    );
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid, line, ring, star};
+
+    #[test]
+    fn distances_on_line() {
+        let g = line(5);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&line(4)));
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = star(5);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 1), 2);
+        assert_eq!(diameter(&g), 2);
+        assert_eq!(diameter(&ring(10)), 5);
+        assert_eq!(diameter(&grid(4, 4)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn diameter_rejects_disconnected() {
+        let _ = diameter(&Graph::new(2));
+    }
+
+    #[test]
+    fn bfs_tree_structure() {
+        let g = grid(3, 3);
+        let parent = bfs_tree(&g, 0);
+        assert_eq!(parent[0], 0);
+        // Every non-root's parent is strictly closer to the root.
+        let dist = bfs_distances(&g, 0);
+        for v in 1..9 {
+            assert_eq!(dist[parent[v]] + 1, dist[v]);
+            assert!(g.has_edge(v, parent[v]));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Standard graph families used in the experiments.
+//!
+//! The paper's bounds are parameterized by the network diameter `D`;
+//! line/ring/grid/torus/tree families let experiments sweep `D` while
+//! hypercubes and Erdős–Rényi graphs exercise irregular structure.
+
+use crate::graph::Graph;
+use ftgcs_sim::rng::SimRng;
+
+/// A path (line) of `n ≥ 1` vertices; diameter `n − 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_topology::generators::line;
+/// let g = line(5);
+/// assert_eq!(g.edge_count(), 4);
+/// ```
+#[must_use]
+pub fn line(n: usize) -> Graph {
+    assert!(n >= 1, "line needs at least one vertex");
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// A cycle of `n ≥ 3` vertices; diameter `⌊n/2⌋`.
+#[must_use]
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "ring needs at least three vertices");
+    let mut g = line(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// A star: vertex 0 adjacent to all others; diameter 2 (for `n ≥ 3`).
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least two vertices");
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The complete graph `K_n`; diameter 1 (for `n ≥ 2`).
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 1, "complete graph needs at least one vertex");
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+/// A `rows × cols` grid; diameter `rows + cols − 2`.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// A `rows × cols` torus (grid with wraparound); requires both dimensions
+/// ≥ 3 so no duplicate edges arise.
+#[must_use]
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs dimensions >= 3");
+    let mut g = grid(rows, cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        g.add_edge(id(r, cols - 1), id(r, 0));
+    }
+    for c in 0..cols {
+        g.add_edge(id(rows - 1, c), id(0, c));
+    }
+    g
+}
+
+/// The `dim`-dimensional hypercube (`2^dim` vertices, diameter `dim`).
+#[must_use]
+pub fn hypercube(dim: u32) -> Graph {
+    assert!(dim >= 1, "hypercube needs dimension >= 1");
+    let n = 1usize << dim;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for b in 0..dim {
+            let w = v ^ (1 << b);
+            if v < w {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+/// A complete `arity`-ary tree with `depth` levels of edges
+/// (`depth = 0` is a single root).
+#[must_use]
+pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
+    assert!(arity >= 1, "tree arity must be >= 1");
+    // Total vertices: 1 + arity + arity^2 + ... + arity^depth.
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= arity;
+        n += level;
+    }
+    let mut g = Graph::new(n);
+    // Children of vertex v (0-indexed, BFS order): arity*v+1 ... arity*v+arity.
+    for v in 0..n {
+        for c in 1..=arity {
+            let w = arity * v + c;
+            if w < n {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+/// A connected Erdős–Rényi graph `G(n, p)`: edges sampled independently,
+/// retried (with fresh randomness) until the sample is connected.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `p` is not in `[0, 1]`, or no connected sample is
+/// found within 1000 attempts (i.e. `p` is far below the connectivity
+/// threshold).
+#[must_use]
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut SimRng) -> Graph {
+    assert!(n >= 1, "G(n,p) needs at least one vertex");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    for _ in 0..1000 {
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.chance(p) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        if crate::analysis::is_connected(&g) {
+            return g;
+        }
+    }
+    panic!("no connected G({n}, {p}) sample in 1000 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{diameter, is_connected};
+
+    #[test]
+    fn line_shape() {
+        let g = line(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(diameter(&g), 5);
+        assert!(g.is_consistent());
+        assert_eq!(line(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(diameter(&g), 4);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(diameter(&g), 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(diameter(&g), 1);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn grid_and_torus_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(diameter(&g), 5);
+        let t = torus(3, 4);
+        assert_eq!(t.edge_count(), 2 * 12);
+        assert!(t.nodes().all(|v| t.degree(v) == 4));
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(diameter(&g), 4);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(diameter(&g), 6);
+        assert!(is_connected(&g));
+        let root_only = balanced_tree(3, 0);
+        assert_eq!(root_only.node_count(), 1);
+    }
+
+    #[test]
+    fn erdos_renyi_connected() {
+        let mut rng = ftgcs_sim::rng::SimRng::seed_from(1);
+        let g = erdos_renyi(20, 0.3, &mut rng);
+        assert!(is_connected(&g));
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn erdos_renyi_p_one_is_complete() {
+        let mut rng = ftgcs_sim::rng::SimRng::seed_from(1);
+        let g = erdos_renyi(6, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 15);
+    }
+}

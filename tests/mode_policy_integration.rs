@@ -1,0 +1,149 @@
+//! Integration tests of the three mode policies ([`ModePolicy`]): what a
+//! node does when neither trigger fires. Algorithm 2 leaves the mode
+//! unchanged (`Sticky`); Theorem C.3's construction defaults to slow and
+//! adds the catch-up rule (`CatchUp`); `DefaultSlow` is the conservative
+//! middle ground. All three must keep the *local* skew bounded (the
+//! triggers govern that); they differ in global-skew compression.
+
+use ftgcs::params::Params;
+use ftgcs::runner::Scenario;
+use ftgcs::ModePolicy;
+use ftgcs_metrics::skew::{cluster_local_skew_series, global_skew_series, FaultMask};
+use ftgcs_sim::clock::RateModel;
+use ftgcs_topology::generators::line;
+use ftgcs_topology::ClusterGraph;
+
+fn params() -> Params {
+    Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible parameters")
+}
+
+fn run_with_policy(policy: ModePolicy, seed: u64, horizon: f64) -> (Scenario, f64, f64) {
+    let p = params();
+    let cg = ClusterGraph::new(line(4), 4, 1);
+    let mut s = Scenario::new(cg.clone(), p.clone());
+    s.seed(seed)
+        .rate_model(RateModel::RandomConstant)
+        .mode_policy(policy)
+        .cluster_offset_ramp(0.8 * p.kappa);
+    let run = s.run_for(horizon);
+    let mask = FaultMask::none(cg.physical().node_count());
+    let local = cluster_local_skew_series(&run.trace, &cg, &mask)
+        .after(3.0 * p.t_round)
+        .max()
+        .unwrap();
+    let global = global_skew_series(&run.trace, &mask).last().unwrap();
+    (s, local, global)
+}
+
+#[test]
+fn every_policy_keeps_local_skew_bounded() {
+    let p = params();
+    let bound = p.local_skew_bound(3);
+    for (policy, seed) in [
+        (ModePolicy::Sticky, 11),
+        (ModePolicy::DefaultSlow, 12),
+        (ModePolicy::CatchUp, 13),
+    ] {
+        let (_, local, _) = run_with_policy(policy, seed, 80.0);
+        assert!(
+            local <= bound,
+            "{policy:?}: local skew {local} > bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn catch_up_compresses_global_skew_best() {
+    // Same seed => identical clock-rate draws and delays; only the policy
+    // differs. The ramp (0.8 kappa/hop = 2.4 delta/hop, total 7.2 delta)
+    // sits below the FT threshold, so triggers alone never compress it.
+    let (_, _, g_catch) = run_with_policy(ModePolicy::CatchUp, 14, 200.0);
+    let (_, _, g_slow) = run_with_policy(ModePolicy::DefaultSlow, 14, 200.0);
+    // 7.2 delta < c delta = 8 delta: even catch-up cannot engage on this
+    // shallow ramp... so instead inject a steeper one in a second pass.
+    assert!(
+        g_catch <= g_slow * 1.05,
+        "catch-up should never be worse: {g_catch} vs {g_slow}"
+    );
+}
+
+#[test]
+fn catch_up_engages_only_beyond_its_threshold() {
+    // Steeper ramp: 1.4 kappa/hop = 4.2 delta/hop, total 12.6 delta > c
+    // delta. Now catch-up must make a visible difference vs DefaultSlow.
+    let p = params();
+    let make = |policy: ModePolicy| {
+        let cg = ClusterGraph::new(line(4), 4, 1);
+        let mut s = Scenario::new(cg.clone(), p.clone());
+        s.seed(15)
+            .rate_model(RateModel::RandomConstant)
+            .mode_policy(policy)
+            .cluster_offset_ramp(1.4 * p.kappa);
+        let run = s.run_for(200.0);
+        let mask = FaultMask::none(16);
+        global_skew_series(&run.trace, &mask).last().unwrap()
+    };
+    let g_catch = make(ModePolicy::CatchUp);
+    let g_slow = make(ModePolicy::DefaultSlow);
+    assert!(
+        g_catch < g_slow - p.delta,
+        "catch-up should compress a steep ramp: {g_catch} vs {g_slow}"
+    );
+    // ... down to (roughly) its engagement floor c*delta.
+    assert!(
+        g_catch <= (p.catch_up_c + 1.5) * p.delta,
+        "catch-up stalled above its floor: {g_catch}"
+    );
+}
+
+#[test]
+fn sticky_policy_holds_the_last_mode() {
+    // A 2-cluster gap above the FT threshold makes the behind cluster go
+    // fast. Once the gap closes below the threshold the triggers go
+    // quiet: DefaultSlow stops there, while Sticky keeps the last (fast)
+    // mode and overshoots further, until the *slow* trigger eventually
+    // fires. The end states must differ visibly.
+    let p = params();
+    let make = |policy: ModePolicy| {
+        let cg = ClusterGraph::new(line(2), 4, 1);
+        let mut s = Scenario::new(cg.clone(), p.clone());
+        s.seed(16)
+            .mode_policy(policy)
+            .max_estimator(false)
+            .cluster_offset(1, 2.5 * p.kappa);
+        let run = s.run_for(150.0);
+        let mask = FaultMask::none(8);
+        global_skew_series(&run.trace, &mask).last().unwrap()
+    };
+    let g_sticky = make(ModePolicy::Sticky);
+    let g_slow = make(ModePolicy::DefaultSlow);
+    assert!(
+        g_sticky < g_slow - p.delta,
+        "sticky should overshoot below default-slow's stall point: \
+         sticky={g_sticky}, default-slow={g_slow}"
+    );
+}
+
+#[test]
+fn disabling_the_estimator_forces_slow_fallback() {
+    // CatchUp without the estimator cannot consult M_v: it must behave
+    // exactly like DefaultSlow (the implementation guards on is_some).
+    let p = params();
+    let make = |policy: ModePolicy, estimator: bool| {
+        let cg = ClusterGraph::new(line(3), 4, 1);
+        let mut s = Scenario::new(cg.clone(), p.clone());
+        s.seed(17)
+            .mode_policy(policy)
+            .max_estimator(estimator)
+            .cluster_offset_ramp(1.4 * p.kappa);
+        let run = s.run_for(60.0);
+        let mask = FaultMask::none(12);
+        global_skew_series(&run.trace, &mask).last().unwrap()
+    };
+    let catch_no_est = make(ModePolicy::CatchUp, false);
+    let slow_no_est = make(ModePolicy::DefaultSlow, false);
+    assert!(
+        (catch_no_est - slow_no_est).abs() < 1e-12,
+        "catch-up without estimator must degrade to default-slow exactly"
+    );
+}

@@ -1,0 +1,99 @@
+//! Topology sweep: Theorem 1.1 is stated for *arbitrary* graphs `G`.
+//! These tests run the full stack on rings, grids, trees, hypercubes,
+//! stars, and random graphs — each with one Byzantine node per cluster —
+//! and check the intra-cluster and local-skew bounds.
+
+use ftgcs::params::Params;
+use ftgcs::runner::Scenario;
+use ftgcs::FaultKind;
+use ftgcs_metrics::skew::{cluster_local_skew_series, intra_cluster_skew_series, FaultMask};
+use ftgcs_sim::rng::SimRng;
+use ftgcs_topology::{analysis, generators, ClusterGraph, Graph};
+
+fn params() -> Params {
+    Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible parameters")
+}
+
+fn check_bounds_on(base: Graph, seed: u64, label: &str) {
+    let p = params();
+    let diameter = analysis::diameter(&base);
+    let cg = ClusterGraph::new(base, 4, 1);
+    let n = cg.physical().node_count();
+    let mut s = Scenario::new(cg.clone(), p.clone());
+    s.seed(seed).with_fault_per_cluster(
+        &FaultKind::TwoFaced {
+            amplitude: 0.5 * p.phi * p.tau3,
+        },
+        1,
+    );
+    let run = s.run_for(30.0);
+    let mask = FaultMask::from_nodes(n, &run.faulty);
+    let warm = 3.0 * p.t_round;
+    let intra = intra_cluster_skew_series(&run.trace, &cg, &mask)
+        .after(warm)
+        .max()
+        .unwrap();
+    // Graphs without base edges (single cluster) have no local skew.
+    let local = cluster_local_skew_series(&run.trace, &cg, &mask)
+        .after(warm)
+        .max()
+        .unwrap_or(0.0);
+    assert!(
+        intra <= p.intra_cluster_skew_bound(),
+        "{label}: intra {intra} > {}",
+        p.intra_cluster_skew_bound()
+    );
+    assert!(
+        local <= p.local_skew_bound(diameter),
+        "{label}: local {local} > {}",
+        p.local_skew_bound(diameter)
+    );
+}
+
+#[test]
+fn ring_topology_respects_bounds() {
+    check_bounds_on(generators::ring(6), 51, "ring(6)");
+}
+
+#[test]
+fn grid_topology_respects_bounds() {
+    check_bounds_on(generators::grid(3, 3), 52, "grid(3,3)");
+}
+
+#[test]
+fn tree_topology_respects_bounds() {
+    check_bounds_on(generators::balanced_tree(2, 3), 53, "tree(2,3)");
+}
+
+#[test]
+fn hypercube_topology_respects_bounds() {
+    check_bounds_on(generators::hypercube(3), 54, "hypercube(3)");
+}
+
+#[test]
+fn star_topology_respects_bounds() {
+    // A star stresses the hub: it estimates every leaf cluster at once.
+    check_bounds_on(generators::star(6), 55, "star(6)");
+}
+
+#[test]
+fn random_connected_graph_respects_bounds() {
+    let mut rng = SimRng::seed_from(56);
+    // Dense enough to be connected with near-certainty at n = 8.
+    let g = generators::erdos_renyi(8, 0.5, &mut rng);
+    if analysis::is_connected(&g) {
+        check_bounds_on(g, 57, "erdos_renyi(8, 0.5)");
+    }
+}
+
+#[test]
+fn torus_topology_respects_bounds() {
+    check_bounds_on(generators::torus(3, 3), 58, "torus(3,3)");
+}
+
+#[test]
+fn single_cluster_degenerate_graph_works() {
+    // D = 0: no inter-cluster machinery at all; the stack must still run
+    // and satisfy Corollary 3.2.
+    check_bounds_on(generators::line(1), 59, "line(1)");
+}
