@@ -123,9 +123,7 @@ impl GcsNode {
     fn react(&mut self, ctx: &mut Ctx<'_, BaseMsg>) {
         let own = ctx.track_value(TrackId::MAIN);
         let n = ctx.neighbors().len();
-        let estimates: Vec<f64> = (0..n)
-            .filter_map(|i| self.estimate_now(ctx, i))
-            .collect();
+        let estimates: Vec<f64> = (0..n).filter_map(|i| self.estimate_now(ctx, i)).collect();
         match self.trigger(own, &estimates) {
             Some(true) => ctx.set_multiplier(TrackId::MAIN, 1.0 + self.cfg.mu),
             Some(false) | None => ctx.set_multiplier(TrackId::MAIN, 1.0),

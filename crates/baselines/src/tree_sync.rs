@@ -68,7 +68,10 @@ impl TreeSyncNode {
     /// Panics if the beacon interval is not positive.
     #[must_use]
     pub fn new(cfg: TreeConfig) -> Self {
-        assert!(cfg.beacon_interval > 0.0, "beacon interval must be positive");
+        assert!(
+            cfg.beacon_interval > 0.0,
+            "beacon interval must be positive"
+        );
         TreeSyncNode { cfg }
     }
 }

@@ -4,10 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftgcs_baselines::{build_free_run_sim, BaseMsg};
 use ftgcs_sim::clock::RateModel;
-use ftgcs_sim::engine::{SimBuilder, SimConfig};
+use ftgcs_sim::engine::{Ctx, SimBuilder, SimConfig};
 use ftgcs_sim::network::{DelayConfig, DelayDistribution};
 use ftgcs_sim::node::{Behavior, NodeId, TimerTag, TrackId};
-use ftgcs_sim::engine::Ctx;
 use ftgcs_sim::time::{SimDuration, SimTime};
 use ftgcs_topology::generators;
 use std::hint::black_box;

@@ -82,6 +82,8 @@ fn main() {
 
     emit_table("a1_mode_policy_ablation", &table);
     println!("\nshape: all policies satisfy the local bound; only catch-up compresses the");
-    println!("steep ramp (its global end sits near c*delta = {:.3e} s).",
-        params.catch_up_c * params.delta);
+    println!(
+        "steep ramp (its global end sits near c*delta = {:.3e} s).",
+        params.catch_up_c * params.delta
+    );
 }

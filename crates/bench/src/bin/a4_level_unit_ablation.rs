@@ -94,7 +94,9 @@ fn main() {
         }
         // Engineering lag envelope: quantization X + propagation 2dD +
         // one round of rate mismatch.
-        let lag_bound = unit + 2.0 * d * diameter as f64 + params.t_round * (params.theta_max - 1.0)
+        let lag_bound = unit
+            + 2.0 * d * diameter as f64
+            + params.t_round * (params.theta_max - 1.0)
             + 3.0 * params.e;
         table.row(&[
             label.clone(),

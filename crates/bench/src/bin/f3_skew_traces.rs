@@ -23,7 +23,11 @@ fn main() {
     println!("F3: local vs global skew over time (line of 9 clusters, adversarial rates)\n");
     let params = default_params(1);
     let diameter = 8;
-    let cg = ClusterGraph::new(generators::line(diameter + 1), params.cluster_size, params.f);
+    let cg = ClusterGraph::new(
+        generators::line(diameter + 1),
+        params.cluster_size,
+        params.f,
+    );
 
     let mut scenario = Scenario::new(cg.clone(), params.clone());
     // Start on a steep ramp (1.5κ per hop — each adjacent gap just below

@@ -41,17 +41,15 @@ fn attacks(p: &Params) -> Vec<(&'static str, FaultKind)> {
                 amplitude: 0.9 * p.phi * p.tau3,
             },
         ),
-        (
-            "skew-puller",
-            FaultKind::SkewPuller {
-                offset: -2.0 * p.e,
-            },
-        ),
+        ("skew-puller", FaultKind::SkewPuller { offset: -2.0 * p.e }),
         (
             "stealthy-rusher",
             FaultKind::StealthyRusher { extra_rate: 0.01 },
         ),
-        ("level-flooder", FaultKind::LevelFlooder { level_step: 1000 }),
+        (
+            "level-flooder",
+            FaultKind::LevelFlooder { level_step: 1000 },
+        ),
     ]
 }
 
@@ -62,7 +60,9 @@ fn run_cell(params: &Params, kind: &FaultKind, per_cluster: usize, seed: u64) ->
         params.f,
     );
     let mut scenario = Scenario::new(cg.clone(), params.clone());
-    scenario.seed(seed).with_fault_per_cluster(kind, per_cluster);
+    scenario
+        .seed(seed)
+        .with_fault_per_cluster(kind, per_cluster);
     let run = scenario.run_for(params.suggested_horizon(DIAMETER));
     let s = measure_skews(&run, &cg, warmup(params));
     (s.intra, s.local)
@@ -130,6 +130,9 @@ fn main() {
     ]);
 
     emit_table("f4_attack_matrix", &table);
-    assert_eq!(violations, 0, "{violations} in-budget attacks broke a bound");
+    assert_eq!(
+        violations, 0,
+        "{violations} in-budget attacks broke a bound"
+    );
     println!("\nall in-budget cells hold; the over-budget row shows why k >= 3f+1 matters.");
 }

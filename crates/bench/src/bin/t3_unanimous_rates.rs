@@ -149,6 +149,9 @@ fn main() {
         fast.min > slow.max,
         "fast clusters must outrun slow clusters"
     );
-    println!("\nfast clusters outrun slow clusters by a margin of {:.2e} in rate —", fast.min - slow.max);
+    println!(
+        "\nfast clusters outrun slow clusters by a margin of {:.2e} in rate —",
+        fast.min - slow.max
+    );
     println!("exactly the gap Corollary 4.7 feeds into the GCS black box.");
 }

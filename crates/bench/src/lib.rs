@@ -111,7 +111,8 @@ pub fn emit_table(name: &str, table: &Table) {
     println!("{}", table.render());
     let path = results_dir().join(format!("{name}.csv"));
     let mut file = fs::File::create(&path).expect("create csv");
-    file.write_all(table.to_csv().as_bytes()).expect("write csv");
+    file.write_all(table.to_csv().as_bytes())
+        .expect("write csv");
     println!("[csv written to {}]", path.display());
 }
 

@@ -75,7 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let local_after = local.after(switch_at).max().unwrap_or(0.0);
 
     println!("stretch phase (all delays = d):      intra {intra_before:.3e} s, local {local_before:.3e} s");
-    println!("compress phase (all delays = d - U): intra {intra_after:.3e} s, local {local_after:.3e} s");
+    println!(
+        "compress phase (all delays = d - U): intra {intra_after:.3e} s, local {local_after:.3e} s"
+    );
     println!(
         "bounds:                              intra {:.3e} s, local {:.3e} s",
         params.intra_cluster_skew_bound(),
@@ -84,9 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     assert!(intra_before.max(intra_after) <= params.intra_cluster_skew_bound());
     assert!(local_before.max(local_after) <= params.local_skew_bound(diameter));
-    println!(
-        "\nthe regime switch that breaks master/slave sync (see the F2 experiment) is"
-    );
+    println!("\nthe regime switch that breaks master/slave sync (see the F2 experiment) is");
     println!("absorbed by FTGCS's trigger slack: both phases stay within the paper's bounds.");
     Ok(())
 }

@@ -104,7 +104,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "2 (> f)".to_string(),
         format!("{intra:.3e}"),
         format!("{local:.3e}"),
-        if ok { "yes (lucky)".into() } else { "NO (expected)".into() },
+        if ok {
+            "yes (lucky)".into()
+        } else {
+            "NO (expected)".into()
+        },
     ]);
 
     println!("{}", table.render());
@@ -120,7 +124,11 @@ fn run_attack(
     per_cluster: usize,
     diameter: usize,
 ) -> (f64, f64) {
-    let cg = ClusterGraph::new(generators::line(diameter + 1), params.cluster_size, params.f);
+    let cg = ClusterGraph::new(
+        generators::line(diameter + 1),
+        params.cluster_size,
+        params.f,
+    );
     let mut scenario = Scenario::new(cg.clone(), params.clone());
     scenario.seed(7).with_fault_per_cluster(kind, per_cluster);
     let run = scenario.run_for(params.suggested_horizon(diameter));

@@ -89,7 +89,11 @@ impl std::fmt::Display for MidpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MidpointError::TooFewObservations { n, f: budget } => {
-                write!(f, "need at least 2f+1 = {} observations, got {n}", 2 * budget + 1)
+                write!(
+                    f,
+                    "need at least 2f+1 = {} observations, got {n}",
+                    2 * budget + 1
+                )
             }
             MidpointError::TooManyMissing { missing, f: budget } => write!(
                 f,
@@ -150,7 +154,10 @@ mod tests {
     #[test]
     fn too_few_observations_is_reported() {
         let err = trimmed_midpoint(&[0.0, 1.0], 1).unwrap_err();
-        assert!(matches!(err, MidpointError::TooFewObservations { n: 2, f: 1 }));
+        assert!(matches!(
+            err,
+            MidpointError::TooFewObservations { n: 2, f: 1 }
+        ));
         assert!(err.to_string().contains("2f+1"));
     }
 

@@ -341,7 +341,13 @@ impl ClusterInstance {
         let mut observations: Vec<f64> = self
             .current
             .iter()
-            .map(|&l| if l.is_finite() { l - own } else { f64::INFINITY })
+            .map(|&l| {
+                if l.is_finite() {
+                    l - own
+                } else {
+                    f64::INFINITY
+                }
+            })
             .collect();
         if self.silent {
             // The estimator participates as a (k+1)-th virtual member.
@@ -547,8 +553,7 @@ mod tests {
         let p = params();
         let probe = Rc::new(RefCell::new(Probe::default()));
         let mut b = SimBuilder::new(config());
-        let inst =
-            ClusterInstance::new(0, TrackId::MAIN, 0, vec![NodeId(0)], false, Rc::clone(&p));
+        let inst = ClusterInstance::new(0, TrackId::MAIN, 0, vec![NodeId(0)], false, Rc::clone(&p));
         b.add_node(Box::new(Harness {
             inst,
             probe: Rc::clone(&probe),

@@ -87,9 +87,7 @@ pub fn make_fault_behavior(kind: &FaultKind, cfg: NodeConfig) -> Box<dyn Behavio
     match kind {
         FaultKind::Silent => Box::new(SilentNode),
         FaultKind::Crash { at } => Box::new(CrashNode::new(cfg, *at)),
-        FaultKind::RandomPulser { mean_interval } => {
-            Box::new(RandomPulser::new(*mean_interval))
-        }
+        FaultKind::RandomPulser { mean_interval } => Box::new(RandomPulser::new(*mean_interval)),
         FaultKind::TwoFaced { amplitude } => Box::new(TwoFacedPulser::new(cfg, *amplitude)),
         FaultKind::SkewPuller { offset } => Box::new(SkewPuller::new(cfg, *offset)),
         FaultKind::StealthyRusher { extra_rate } => {
@@ -171,8 +169,8 @@ impl RandomPulser {
     }
 
     fn arm(&self, ctx: &mut Ctx<'_, Msg>) {
-        let next = ctx.track_value(TrackId::MAIN)
-            + ctx.rng().uniform(0.1, 1.9) * self.mean_interval;
+        let next =
+            ctx.track_value(TrackId::MAIN) + ctx.rng().uniform(0.1, 1.9) * self.mean_interval;
         ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(TIMER_PERIODIC));
     }
 }
@@ -295,11 +293,7 @@ impl TwoFacedPulser {
         let target = self.follower.pulse_target(round);
         let track = self.follower.track();
         let tag = |kind: u32| TimerTag::new(kind).with_b(round);
-        ctx.set_timer_at(
-            track,
-            (target - self.amplitude).max(0.0),
-            tag(TIMER_EARLY),
-        );
+        ctx.set_timer_at(track, (target - self.amplitude).max(0.0), tag(TIMER_EARLY));
         ctx.set_timer_at(track, target + self.amplitude, tag(TIMER_LATE));
     }
 
@@ -451,7 +445,11 @@ impl LevelFlooder {
 
 impl Behavior<Msg> for LevelFlooder {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        ctx.set_timer_at(TrackId::MAIN, self.params.t_round, TimerTag::new(TIMER_PERIODIC));
+        ctx.set_timer_at(
+            TrackId::MAIN,
+            self.params.t_round,
+            TimerTag::new(TIMER_PERIODIC),
+        );
     }
     fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {

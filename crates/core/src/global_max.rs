@@ -67,7 +67,13 @@ impl MaxEstimator {
     /// Panics if `unit < min_delay` (the bump rule would over-claim) or
     /// `min_delay < 0`.
     #[must_use]
-    pub fn new(track: TrackId, unit: f64, min_delay: f64, f: usize, clusters: Vec<Vec<NodeId>>) -> Self {
+    pub fn new(
+        track: TrackId,
+        unit: f64,
+        min_delay: f64,
+        f: usize,
+        clusters: Vec<Vec<NodeId>>,
+    ) -> Self {
         assert!(min_delay >= 0.0, "minimum delay must be non-negative");
         assert!(
             unit >= min_delay,

@@ -148,9 +148,7 @@ impl FtGcsNode {
                 ModePolicy::Sticky => self.mode,
                 ModePolicy::DefaultSlow => Mode::Slow,
                 ModePolicy::CatchUp => {
-                    if self.max_est.is_some()
-                        && own_l <= max_value - p.catch_up_c * p.delta
-                    {
+                    if self.max_est.is_some() && own_l <= max_value - p.catch_up_c * p.delta {
                         Mode::Fast
                     } else {
                         Mode::Slow
@@ -264,8 +262,7 @@ impl Behavior<Msg> for FtGcsNode {
             }
             let event = self.own.on_timer(ctx, tag);
             debug_assert!(
-                tag.kind != TIMER_ROUND_END
-                    || matches!(event, InstanceEvent::RoundEnded { .. })
+                tag.kind != TIMER_ROUND_END || matches!(event, InstanceEvent::RoundEnded { .. })
             );
         } else {
             let idx = (tag.a - 1) as usize;

@@ -187,7 +187,9 @@ impl Params {
     #[must_use]
     pub fn global_skew_bound(&self, diameter: usize) -> f64 {
         let d_term = (diameter as f64 + 1.0) * self.d;
-        (self.catch_up_c + 2.0) * self.delta + self.level_unit + 2.0 * d_term
+        (self.catch_up_c + 2.0) * self.delta
+            + self.level_unit
+            + 2.0 * d_term
             + self.delta * diameter as f64
     }
 

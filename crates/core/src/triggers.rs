@@ -193,10 +193,7 @@ mod tests {
         for &up in &vals {
             for &down in &vals {
                 let o = evaluate(0.0, &[up, -down], K, D);
-                assert!(
-                    !(o.fast && o.slow),
-                    "both triggers at up={up}, down={down}"
-                );
+                assert!(!(o.fast && o.slow), "both triggers at up={up}, down={down}");
             }
         }
     }

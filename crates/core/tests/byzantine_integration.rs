@@ -6,9 +6,7 @@
 use ftgcs::params::Params;
 use ftgcs::runner::Scenario;
 use ftgcs::FaultKind;
-use ftgcs_metrics::skew::{
-    cluster_local_skew_series, intra_cluster_skew_series, FaultMask,
-};
+use ftgcs_metrics::skew::{cluster_local_skew_series, intra_cluster_skew_series, FaultMask};
 use ftgcs_sim::clock::RateModel;
 use ftgcs_topology::generators::line;
 use ftgcs_topology::ClusterGraph;
@@ -63,7 +61,12 @@ fn crash_attack_bounded() {
 
 #[test]
 fn random_pulser_attack_bounded() {
-    assert_bounds_hold(&FaultKind::RandomPulser { mean_interval: 0.05 }, 13);
+    assert_bounds_hold(
+        &FaultKind::RandomPulser {
+            mean_interval: 0.05,
+        },
+        13,
+    );
 }
 
 #[test]
@@ -139,7 +142,10 @@ fn mixed_attacks_across_clusters_bounded() {
         .rate_model(RateModel::RandomConstant)
         .with_fault(0, FaultKind::TwoFaced { amplitude: amp })
         .with_fault(cg.node_id(1, 2), FaultKind::SkewPuller { offset: -amp })
-        .with_fault(cg.node_id(2, 1), FaultKind::RandomPulser { mean_interval: 0.1 });
+        .with_fault(
+            cg.node_id(2, 1),
+            FaultKind::RandomPulser { mean_interval: 0.1 },
+        );
     assert!(!s.faults_exceed_budget());
     let run = s.run_for(60.0);
     let mask = FaultMask::from_nodes(12, &run.faulty);

@@ -64,7 +64,11 @@ fn pulse_diameters_contract_below_e() {
     let mask = FaultMask::none(4);
     let diam = pulse_diameters(&run.trace, s.cluster_graph(), &mask, ROW_PULSE);
     let rounds = &diam[0];
-    assert!(rounds.len() > 50, "expected many rounds, got {}", rounds.len());
+    assert!(
+        rounds.len() > 50,
+        "expected many rounds, got {}",
+        rounds.len()
+    );
     // Proposition B.14: ||p(r)|| <= E for all rounds (offsets were kept
     // below e(1) = E).
     for (r, d) in rounds.iter().enumerate() {
@@ -170,7 +174,12 @@ fn two_fault_clusters_work_with_k7() {
     s.seed(8)
         .rate_model(RateModel::RandomConstant)
         .with_fault(0, ftgcs::FaultKind::Silent)
-        .with_fault(1, ftgcs::FaultKind::RandomPulser { mean_interval: 0.05 });
+        .with_fault(
+            1,
+            ftgcs::FaultKind::RandomPulser {
+                mean_interval: 0.05,
+            },
+        );
     let run = s.run_for(30.0);
     let mask = FaultMask::from_nodes(7, &run.faulty);
     let skew = intra_cluster_skew_series(&run.trace, s.cluster_graph(), &mask);

@@ -1,0 +1,30 @@
+//! Smoke test: `examples/quickstart.rs` must build, run, and exit 0, so
+//! the first thing the README tells people to run can't silently rot.
+//!
+//! The example is driven through `cargo run --example` (cargo rebuilds
+//! it if stale); `cargo test` itself already type-checks all examples,
+//! so this adds the *runtime* guarantee on top.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_and_exits_zero() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "-q", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("all paper bounds hold"),
+        "quickstart no longer reports its success line:\n{stdout}"
+    );
+}

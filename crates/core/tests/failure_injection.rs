@@ -117,7 +117,10 @@ fn mixed_attack_cocktail_within_budget() {
             cg.node_id(2, 2),
             FaultKind::StealthyRusher { extra_rate: 0.02 },
         )
-        .with_fault(cg.node_id(3, 3), FaultKind::LevelFlooder { level_step: 10_000 });
+        .with_fault(
+            cg.node_id(3, 3),
+            FaultKind::LevelFlooder { level_step: 10_000 },
+        );
     let run = s.run_for(60.0);
     let mask = FaultMask::from_nodes(cg.physical().node_count(), &run.faulty);
     let intra = intra_cluster_skew_series(&run.trace, &cg, &mask)
@@ -139,8 +142,12 @@ fn level_flooders_cannot_poison_the_max_estimate() {
     let p = params();
     let cg = ClusterGraph::new(line(3), 4, 1);
     let mut s = Scenario::new(cg.clone(), p.clone());
-    s.seed(41)
-        .with_fault_per_cluster(&FaultKind::LevelFlooder { level_step: 1_000_000 }, 1);
+    s.seed(41).with_fault_per_cluster(
+        &FaultKind::LevelFlooder {
+            level_step: 1_000_000,
+        },
+        1,
+    );
     let run = s.run_for(30.0);
     let mask = FaultMask::from_nodes(cg.physical().node_count(), &run.faulty);
     for row in run.trace.rows_of_kind(ftgcs::node::ROW_MODE) {
@@ -178,8 +185,14 @@ fn over_budget_cluster_degrades_without_panicking() {
     let cg = ClusterGraph::new(line(3), 4, 1);
     let mut s = Scenario::new(cg.clone(), p.clone());
     s.seed(42)
-        .with_fault(cg.node_id(1, 0), FaultKind::SkewPuller { offset: -3.0 * p.e })
-        .with_fault(cg.node_id(1, 1), FaultKind::SkewPuller { offset: -3.0 * p.e });
+        .with_fault(
+            cg.node_id(1, 0),
+            FaultKind::SkewPuller { offset: -3.0 * p.e },
+        )
+        .with_fault(
+            cg.node_id(1, 1),
+            FaultKind::SkewPuller { offset: -3.0 * p.e },
+        );
     assert!(s.faults_exceed_budget());
     let run = s.run_for(30.0);
     let mask = FaultMask::from_nodes(cg.physical().node_count(), &run.faulty);
@@ -214,7 +227,12 @@ fn global_skew_survives_the_cocktail() {
     let mut s = Scenario::new(cg.clone(), p.clone());
     s.seed(43)
         .delay_distribution(DelayDistribution::AsymmetricById)
-        .with_fault_per_cluster(&FaultKind::RandomPulser { mean_interval: 0.02 }, 1);
+        .with_fault_per_cluster(
+            &FaultKind::RandomPulser {
+                mean_interval: 0.02,
+            },
+            1,
+        );
     let run = s.run_for(60.0);
     let mask = FaultMask::from_nodes(cg.physical().node_count(), &run.faulty);
     let global = global_skew_series(&run.trace, &mask)

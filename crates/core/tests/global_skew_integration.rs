@@ -138,7 +138,9 @@ fn disabled_estimator_reports_sentinel() {
     let p = params();
     let cg = ClusterGraph::new(line(2), 4, 1);
     let mut s = Scenario::new(cg, p);
-    s.seed(5).max_estimator(false).mode_policy(ModePolicy::DefaultSlow);
+    s.seed(5)
+        .max_estimator(false)
+        .mode_policy(ModePolicy::DefaultSlow);
     let run = s.run_for(5.0);
     for row in run.trace.rows_of_kind(ROW_MODE) {
         assert_eq!(row.values[6], -1.0, "sentinel expected when disabled");

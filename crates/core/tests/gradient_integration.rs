@@ -7,8 +7,8 @@ use ftgcs::node::ROW_MODE;
 use ftgcs::params::Params;
 use ftgcs::runner::Scenario;
 use ftgcs_metrics::skew::{
-    cluster_local_skew_series, global_skew_series, intra_cluster_skew_series,
-    local_skew_series, FaultMask,
+    cluster_local_skew_series, global_skew_series, intra_cluster_skew_series, local_skew_series,
+    FaultMask,
 };
 use ftgcs_sim::clock::RateModel;
 use ftgcs_topology::generators::line;
@@ -170,7 +170,10 @@ fn fast_mode_engages_when_behind() {
         .rows_of_kind(ROW_MODE)
         .filter(|r| r.values[0] == 0.0 && r.values[2] == 1.0)
         .count();
-    assert!(fast_rows > 5, "cluster 0 never went fast ({fast_rows} rows)");
+    assert!(
+        fast_rows > 5,
+        "cluster 0 never went fast ({fast_rows} rows)"
+    );
     // And the gap must shrink.
     let mask = FaultMask::none(8);
     let global = global_skew_series(&run.trace, &mask);

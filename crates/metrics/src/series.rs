@@ -50,7 +50,10 @@ impl TimeSeries {
     /// Panics if `t` precedes the last point's time, or if either input is
     /// NaN.
     pub fn push(&mut self, t: f64, value: f64) {
-        assert!(!t.is_nan() && !value.is_nan(), "series points must not be NaN");
+        assert!(
+            !t.is_nan() && !value.is_nan(),
+            "series points must not be NaN"
+        );
         if let Some(&(last_t, _)) = self.points.last() {
             assert!(t >= last_t, "series times must be non-decreasing");
         }
@@ -83,17 +86,15 @@ impl TimeSeries {
     /// Maximum value, or `None` if empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.values().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.values()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Minimum value, or `None` if empty.
     #[must_use]
     pub fn min(&self) -> Option<f64> {
-        self.values().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.values()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Mean value, or `None` if empty.
@@ -142,12 +143,7 @@ impl TimeSeries {
 
 impl fmt::Debug for TimeSeries {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "TimeSeries(len={}, max={:?})",
-            self.len(),
-            self.max()
-        )
+        write!(f, "TimeSeries(len={}, max={:?})", self.len(), self.max())
     }
 }
 

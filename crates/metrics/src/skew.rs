@@ -356,10 +356,7 @@ mod tests {
     #[test]
     fn intra_cluster_skew_takes_worst_cluster() {
         let cg = ClusterGraph::new(line(2), 4, 1);
-        let trace = trace_with(vec![(
-            0.0,
-            vec![0.0, 0.1, 0.2, 0.3, 5.0, 5.0, 5.0, 6.0],
-        )]);
+        let trace = trace_with(vec![(0.0, vec![0.0, 0.1, 0.2, 0.3, 5.0, 5.0, 5.0, 6.0])]);
         let s = intra_cluster_skew_series(&trace, &cg, &FaultMask::none(8));
         assert!((s.last().unwrap() - 1.0).abs() < 1e-12);
         let masked = intra_cluster_skew_series(&trace, &cg, &FaultMask::from_nodes(8, &[7]));

@@ -162,9 +162,7 @@ impl HardwareClock {
                 let f = self.rng.uniform(0.0, 1.0);
                 self.rate_from_frac(f)
             }
-            RateModel::Sinusoid { phase, .. } => {
-                self.rate_from_frac((1.0 + phase.sin()) / 2.0)
-            }
+            RateModel::Sinusoid { phase, .. } => self.rate_from_frac((1.0 + phase.sin()) / 2.0),
             RateModel::Schedule(entries) => self.rate_from_frac(entries[0].1),
         };
         self.segments.push(Segment {
@@ -275,9 +273,10 @@ impl HardwareClock {
         // Rates are ≥ 1, so by time `target` the hardware reading is ≥
         // `target`: generating segments up to Newtonian `target` suffices.
         self.extend_to(target);
-        let i = match self.segments.binary_search_by(|s| {
-            s.hw_at_start.partial_cmp(&target).expect("no NaN")
-        }) {
+        let i = match self
+            .segments
+            .binary_search_by(|s| s.hw_at_start.partial_cmp(&target).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         };

@@ -180,7 +180,13 @@ impl<M: Clone> SimState<M> {
         );
     }
 
-    fn set_timer_at(&mut self, node: NodeId, track: TrackId, target: f64, tag: TimerTag) -> TimerId {
+    fn set_timer_at(
+        &mut self,
+        node: NodeId,
+        track: TrackId,
+        target: f64,
+        tag: TimerTag,
+    ) -> TimerId {
         assert!(
             track.index() < self.tracks[node.index()].len(),
             "unknown track {track:?} on {node}"
@@ -687,8 +693,7 @@ impl<M: Clone> Simulation<M> {
                     // Retire the timer before dispatch so the behavior can
                     // set a new one from the callback.
                     self.state.timer_slots[id].active = false;
-                    let list =
-                        &mut self.state.track_timers[slot.node.index()][slot.track.index()];
+                    let list = &mut self.state.track_timers[slot.node.index()][slot.track.index()];
                     if let Some(pos) = list.iter().position(|&x| x == id) {
                         list.swap_remove(pos);
                     }
@@ -708,8 +713,7 @@ impl<M: Clone> Simulation<M> {
                 }
                 Pending::Message { from, to, msg } => {
                     self.state.stats.messages += 1;
-                    let mut behavior =
-                        self.behaviors[to.index()].take().expect("behavior present");
+                    let mut behavior = self.behaviors[to.index()].take().expect("behavior present");
                     {
                         let mut ctx = Ctx {
                             state: &mut self.state,
@@ -943,7 +947,10 @@ mod tests {
         let rows: Vec<_> = sim.trace().rows_of_kind("extra_fired").collect();
         assert_eq!(rows.len(), 1);
         assert!((rows[0].values[0] - 2.0).abs() < 1e-12);
-        assert_eq!(sim.track_value_of(NodeId(0), TrackId(1)), 100.0 + 0.5 * 10.0);
+        assert_eq!(
+            sim.track_value_of(NodeId(0), TrackId(1)),
+            100.0 + 0.5 * 10.0
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub fn eccentricity(g: &Graph, v: usize) -> usize {
 /// Panics if the graph is disconnected or empty.
 #[must_use]
 pub fn diameter(g: &Graph) -> usize {
-    g.nodes().map(|v| eccentricity(g, v)).max().expect("non-empty graph")
+    g.nodes()
+        .map(|v| eccentricity(g, v))
+        .max()
+        .expect("non-empty graph")
 }
 
 /// A BFS spanning tree rooted at `root`: `parent[v]` is `v`'s parent, with

@@ -247,7 +247,9 @@ mod tests {
         let per_edge = cg.edge_overhead().unwrap();
         // 6 base edges -> 6·49 inter + 4·21 intra = 294 + 84 = 378 edges.
         assert!((per_edge - 378.0 / 6.0).abs() < 1e-12);
-        assert!(ClusterGraph::new(Graph::new(2), 4, 1).edge_overhead().is_none());
+        assert!(ClusterGraph::new(Graph::new(2), 4, 1)
+            .edge_overhead()
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Minimal offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — per sample it times one batch of
+//! iterations with [`std::time::Instant`] and reports the median
+//! ns/iteration to stdout. No statistical analysis, plots, or baselines;
+//! the point is that `cargo bench` compiles, runs, and prints sane
+//! numbers without the real dependency.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]; real criterion's `black_box`
+/// predates the std version but has the same contract.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.run(&id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with the given input, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.0;
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().0;
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                iters: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+        println!(
+            "{}/{label}: median {median:.1} ns/iter ({} samples)",
+            self.name,
+            samples.len()
+        );
+    }
+
+    /// Ends the group. (Analysis-free in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name` plus a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// A label that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId(s.into())
+    }
+}
+
+/// Times closures; handed to the benchmark body by `bench_*`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, keeping its output alive via
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then a small fixed batch per sample: the
+        // workspace's benches simulate whole seconds per call, so large
+        // adaptive batches would make `cargo bench` take minutes.
+        black_box(f());
+        const BATCH: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Collects benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this
+            // stand-in has no filtering, so they are ignored.
+            $( $group(); )+
+        }
+    };
+}

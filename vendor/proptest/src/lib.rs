@@ -1,0 +1,159 @@
+//! Minimal offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements exactly the subset of the proptest API the workspace's
+//! property tests use: the [`proptest!`] macro over `name in strategy`
+//! arguments, range strategies for the primitive numeric types,
+//! [`collection::vec`], and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics match real proptest where it matters for these tests:
+//! each case draws fresh inputs from a deterministic per-case RNG, a
+//! rejected assumption discards the case without counting it, and a
+//! failed assertion aborts the test with the formatted message. No
+//! shrinking is performed — a failing case reports the raw inputs'
+//! assertion message only.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (only [`vec`](collection::vec) is provided).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy generating vectors with lengths in `size`,
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Each function body runs for a fixed number of generated cases; the
+/// arguments are drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                const CASES: u32 = 96;
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while accepted < CASES {
+                    case += 1;
+                    assert!(
+                        rejected < CASES * 200,
+                        "proptest {}: too many rejected cases ({rejected})",
+                        stringify!($name),
+                    );
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed (case {case}): {msg}", stringify!($name));
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Discards the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {left:?}\n right: {right:?}",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  both: {left:?}",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}

@@ -1,0 +1,48 @@
+//! The per-case RNG and the case-outcome type threaded through the
+//! `prop_assert*` macros.
+
+/// Why a generated case did not count as a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+    /// An assertion failed with this message; abort the test.
+    Fail(String),
+}
+
+/// SplitMix64 — tiny, fast, and plenty for test-input generation.
+/// Seeded from the test's module path and case index so every test and
+/// every case sees an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the named test.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
