@@ -277,6 +277,7 @@ mod tests {
             rate_model: RateModel::RandomConstant,
             seed: 11,
             sample_interval: Some(SimDuration::from_millis(50.0)),
+            ..SimConfig::default()
         }
     }
 

@@ -144,6 +144,7 @@ mod tests {
             rate_model: RateModel::RandomConstant,
             seed: 3,
             sample_interval: Some(SimDuration::from_millis(10.0)),
+            ..SimConfig::default()
         }
     }
 

@@ -22,6 +22,9 @@ fn config(sampling: bool) -> SimConfig {
         rate_model: RateModel::RandomConstant,
         seed: 9,
         sample_interval: sampling.then(|| SimDuration::from_millis(10.0)),
+        // The raw-substrate benches pin the global heap; the scheduler
+        // comparison lives in `benches/shard_scaling.rs`.
+        ..SimConfig::default()
     }
 }
 

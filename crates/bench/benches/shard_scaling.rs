@@ -1,0 +1,129 @@
+//! Criterion bench: scheduler sharding — the same workloads as
+//! `engine_free_run` (raw substrate message flood) and
+//! `cluster_simulated_second` (full ClusterSync), swept over 1/2/4/8/64
+//! scheduler shards (1 = the global-heap `Scenario` default, 64 = one
+//! shard per cluster, what `Scenario::sharded_by_cluster` selects).
+//!
+//! Both schedulers dispatch identical event sequences (pinned by
+//! `crates/sim/tests/shard_equivalence.rs`), so any time difference is
+//! pure queue mechanics: per-shard heaps of `m/s` entries versus one
+//! heap of `m`, plus inbox staging that turns pulse fan-out into bulk
+//! merges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftgcs::params::Params;
+use ftgcs::runner::Scenario;
+use ftgcs_baselines::BaseMsg;
+use ftgcs_sim::clock::RateModel;
+use ftgcs_sim::engine::{Ctx, SimBuilder, SimConfig};
+use ftgcs_sim::network::{DelayConfig, DelayDistribution};
+use ftgcs_sim::node::{Behavior, NodeId, TimerTag, TrackId};
+use ftgcs_sim::shard::{Partition, SchedulerKind};
+use ftgcs_sim::time::{SimDuration, SimTime};
+use ftgcs_topology::{generators, ClusterGraph};
+use std::hint::black_box;
+
+/// Nodes per cluster in both workloads.
+const K: usize = 4;
+/// Clusters (so the finest split, one shard per cluster, is 64).
+const CLUSTERS: usize = 64;
+
+/// The `engine_free_run` flooder: broadcast a beacon every `period`
+/// logical seconds.
+#[derive(Debug)]
+struct Flooder {
+    period: f64,
+}
+
+impl Behavior<BaseMsg> for Flooder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BaseMsg>) {
+        ctx.set_timer_at(TrackId::MAIN, self.period, TimerTag::new(0));
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, BaseMsg>, _from: NodeId, _msg: &BaseMsg) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, BaseMsg>, tag: TimerTag) {
+        ctx.broadcast(BaseMsg::Beacon { value: 0.0 });
+        ctx.set_timer_at(
+            TrackId::MAIN,
+            (tag.b as f64 + 2.0) * self.period,
+            TimerTag::new(0).with_b(tag.b + 1),
+        );
+    }
+}
+
+/// The shared topology: a line of `CLUSTERS` cliques of `K`, so shard
+/// splits always cut only `≥ d−U`-delayed intercluster edges.
+fn cluster_graph() -> ClusterGraph {
+    ClusterGraph::new(generators::line(CLUSTERS), K, 1)
+}
+
+fn scheduler_for(shards: usize) -> SchedulerKind {
+    let nodes = CLUSTERS * K;
+    if shards == 1 {
+        SchedulerKind::Global
+    } else {
+        SchedulerKind::Sharded(Partition::by_blocks(nodes, nodes / shards))
+    }
+}
+
+fn bench_free_run_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling_free_run");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| {
+                let cg = cluster_graph();
+                let config = SimConfig {
+                    delay: DelayConfig::new(
+                        SimDuration::from_millis(1.0),
+                        SimDuration::from_micros(100.0),
+                        DelayDistribution::Uniform,
+                    ),
+                    rho: 1e-4,
+                    rate_model: RateModel::RandomConstant,
+                    seed: 9,
+                    sample_interval: Some(SimDuration::from_millis(10.0)),
+                    scheduler: scheduler_for(s),
+                };
+                let mut builder = SimBuilder::<BaseMsg>::new(config);
+                for _ in 0..cg.physical().node_count() {
+                    builder.add_node(Box::new(Flooder { period: 0.01 }));
+                }
+                for (a, b2) in cg.physical().edges() {
+                    builder.add_edge(NodeId(a), NodeId(b2));
+                }
+                let mut sim = builder.build();
+                sim.run_until(SimTime::from_secs(1.0));
+                black_box(sim.stats().events)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_second_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling_cluster_second");
+    group.sample_size(10);
+    let params = Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible");
+    for shards in [1usize, 2, 4, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| {
+                let mut scenario = Scenario::new(cluster_graph(), params.clone());
+                scenario
+                    .seed(3)
+                    .max_estimator(false)
+                    .sample_interval(None)
+                    .scheduler(scheduler_for(s));
+                let run = scenario.run_for(1.0);
+                black_box(run.stats.events)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_free_run_scaling,
+    bench_cluster_second_scaling
+);
+criterion_main!(benches);

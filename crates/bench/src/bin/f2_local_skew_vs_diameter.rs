@@ -51,6 +51,7 @@ fn baseline_config(seed: u64) -> SimConfig {
         rate_model: RateModel::RandomConstant,
         seed,
         sample_interval: Some(SimDuration::from_millis(20.0)),
+        ..SimConfig::default()
     }
 }
 

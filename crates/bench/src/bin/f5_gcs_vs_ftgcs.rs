@@ -46,6 +46,7 @@ fn main() {
         rate_model: RateModel::RandomConstant,
         seed: 5,
         sample_interval: Some(SimDuration::from_millis(50.0)),
+        ..SimConfig::default()
     };
     let mut gcs = build_gcs_sim(&ring, gcs_cfg, config, &[0]);
     gcs.run_until(SimTime::from_secs(HORIZON));

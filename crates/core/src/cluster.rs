@@ -26,10 +26,39 @@ use std::rc::Rc;
 
 use ftgcs_sim::engine::Ctx;
 use ftgcs_sim::node::{NodeId, TimerTag, TrackId};
+use ftgcs_sim::shard::Partition;
+use ftgcs_topology::ClusterGraph;
 
 use crate::agreement::trimmed_midpoint;
 use crate::messages::Msg;
 use crate::params::Params;
+
+/// The engine [`Partition`] that places each cluster in its own
+/// scheduler shard.
+///
+/// Clusters are the natural conservative-synchronization seam of the
+/// paper's model: intra-cluster traffic (the clique's pulses) stays
+/// inside one shard, while every inter-cluster message is delayed by at
+/// least `d − U` ([`crate::params::Params::lookahead`]), giving each
+/// shard that much lookahead before it must consult its neighbors.
+/// [`crate::runner::Scenario::sharded_by_cluster`] selects this
+/// partition.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs::cluster::cluster_partition;
+/// use ftgcs_topology::{generators, ClusterGraph};
+///
+/// let cg = ClusterGraph::new(generators::line(3), 4, 1);
+/// let p = cluster_partition(&cg);
+/// assert_eq!(p.shard_count(), 3);
+/// assert_eq!(p.node_count(), 12);
+/// ```
+#[must_use]
+pub fn cluster_partition(cg: &ClusterGraph) -> Partition {
+    Partition::by_blocks(cg.physical().node_count(), cg.cluster_size())
+}
 
 /// Timer kind: send the round's pulse (end of phase 1).
 pub const TIMER_PULSE: u32 = 1;
@@ -499,6 +528,7 @@ mod tests {
             rate_model: RateModel::Constant { frac: 0.0 },
             seed: 1,
             sample_interval: None,
+            ..SimConfig::default()
         }
     }
 

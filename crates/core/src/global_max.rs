@@ -246,6 +246,7 @@ mod tests {
             rate_model: RateModel::Constant { frac: 0.0 },
             seed: 5,
             sample_interval: None,
+            ..SimConfig::default()
         };
         let mut b = SimBuilder::new(config);
         b.add_node(Box::new(LevelHarness {

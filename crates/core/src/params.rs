@@ -161,6 +161,22 @@ impl Params {
         ParamsBuilder::new(rho, d, u, f)
     }
 
+    /// The minimum message delay `d − U`: the conservative-lookahead
+    /// floor of the per-cluster scheduler partition. Any message
+    /// between clusters takes at least this long, so a scheduler shard
+    /// that is globally earliest can advance this far before other
+    /// shards could affect it.
+    ///
+    /// This is a *descriptive* quantity for analysis and reporting: the
+    /// sharded queue ([`ftgcs_sim::shard`]) derives its horizon from
+    /// actual queued event keys, so the floor is enforced by the delay
+    /// model itself, never consumed as a scheduler input. A larger
+    /// floor simply yields longer uninterrupted per-shard runs.
+    #[must_use]
+    pub fn lookahead(&self) -> f64 {
+        self.d - self.u
+    }
+
     /// Predicted intra-cluster skew bound `2·ϑ_g·E` (Corollary 3.2).
     #[must_use]
     pub fn intra_cluster_skew_bound(&self) -> f64 {

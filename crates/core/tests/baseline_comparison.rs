@@ -29,6 +29,7 @@ fn sim_config(seed: u64) -> SimConfig {
         rate_model: RateModel::RandomConstant,
         seed,
         sample_interval: Some(SimDuration::from_millis(20.0)),
+        ..SimConfig::default()
     }
 }
 

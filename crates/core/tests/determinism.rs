@@ -20,17 +20,6 @@ fn run(seed: u64) -> ScenarioRun {
     scenario.run_for(30.0)
 }
 
-fn trace_bytes(run: &ScenarioRun) -> Vec<u8> {
-    let mut buf = Vec::new();
-    run.trace
-        .write_samples_csv(&mut buf)
-        .expect("writing to a Vec cannot fail");
-    for row in &run.trace.rows {
-        buf.extend_from_slice(format!("{row:?}\n").as_bytes());
-    }
-    buf
-}
-
 #[test]
 fn scenario_runs_are_reproducible() {
     let a = run(7);
@@ -41,14 +30,14 @@ fn scenario_runs_are_reproducible() {
     );
     assert_eq!(a.faulty, b.faulty, "fault placement must be reproducible");
     assert_eq!(
-        trace_bytes(&a),
-        trace_bytes(&b),
+        a.trace.to_bytes(),
+        b.trace.to_bytes(),
         "same (seed, scenario) must reproduce the trace byte-for-byte"
     );
     let c = run(8);
     assert_ne!(
-        trace_bytes(&a),
-        trace_bytes(&c),
+        a.trace.to_bytes(),
+        c.trace.to_bytes(),
         "a different seed must change the run, or this test has no power"
     );
 }

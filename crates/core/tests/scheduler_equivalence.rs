@@ -1,0 +1,66 @@
+//! Full-stack scheduler differential: a complete FTGCS scenario —
+//! cluster sync, estimators, triggers, Byzantine faults — produces
+//! **byte-identical** traces whether the engine runs one global heap or
+//! one shard per cluster.
+//!
+//! The substrate-level matrix lives in
+//! `crates/sim/tests/shard_equivalence.rs`; this test adds the layers
+//! above the engine: every message class of the algorithm, fault
+//! behaviors, and the max estimator.
+
+use ftgcs::cluster::cluster_partition;
+use ftgcs::params::Params;
+use ftgcs::runner::Scenario;
+use ftgcs::FaultKind;
+use ftgcs_sim::shard::SchedulerKind;
+use ftgcs_topology::{generators, ClusterGraph};
+
+fn scenario(seed: u64, faulty: bool) -> Scenario {
+    let params = Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible environment");
+    let cg = ClusterGraph::new(generators::line(3), 4, 1);
+    let mut s = Scenario::new(cg, params);
+    s.seed(seed).initial_offset_spread(1e-4);
+    if faulty {
+        s.with_fault_per_cluster(&FaultKind::TwoFaced { amplitude: 1e-3 }, 1);
+    }
+    s
+}
+
+#[test]
+fn sharded_by_cluster_matches_global_heap_byte_for_byte() {
+    for seed in [7u64, 23] {
+        for faulty in [false, true] {
+            let mut s = scenario(seed, faulty);
+            s.sharded_by_cluster();
+            let sharded = s.run_for(20.0);
+            let mut g = scenario(seed, faulty);
+            g.scheduler(SchedulerKind::Global);
+            let global = g.run_for(20.0);
+            assert!(
+                !sharded.trace.samples.is_empty() && !sharded.trace.rows.is_empty(),
+                "trace must be non-trivial"
+            );
+            assert_eq!(sharded.stats, global.stats, "seed {seed}, faulty {faulty}");
+            assert_eq!(
+                sharded.trace.to_bytes(),
+                global.trace.to_bytes(),
+                "scheduler changed a full-stack run (seed {seed}, faulty {faulty})"
+            );
+        }
+    }
+}
+
+#[test]
+fn explicit_cluster_partition_matches_sharded_by_cluster() {
+    // `scheduler(Sharded(cluster_partition(..)))` is exactly what the
+    // `sharded_by_cluster` convenience selects; handing the partition
+    // down explicitly must be a no-op.
+    let mut base = scenario(5, false);
+    base.sharded_by_cluster();
+    let base = base.run_for(10.0);
+    let mut explicit = scenario(5, false);
+    let partition = cluster_partition(explicit.cluster_graph());
+    explicit.scheduler(SchedulerKind::Sharded(partition));
+    let run = explicit.run_for(10.0);
+    assert_eq!(base.trace.to_bytes(), run.trace.to_bytes());
+}

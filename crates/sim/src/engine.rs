@@ -11,15 +11,18 @@
 //!
 //! Changing a multiplier (or jumping a track) re-anchors the track and
 //! transparently reschedules every pending timer on it; stale heap entries
-//! are skipped via generation counters.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! are skipped via generation counters. Event storage is delegated to a
+//! [`ShardQueue`]: one heap per [`shard`](crate::shard) of the network,
+//! advanced under conservative lookahead, with the classic single global
+//! heap as the 1-shard degenerate case ([`SchedulerKind::Global`]). Both
+//! schedulers dispatch the identical global event order, so they produce
+//! byte-identical traces.
 
 use crate::clock::{HardwareClock, RateModel};
 use crate::network::{DelayConfig, DelayDistribution};
 use crate::node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
 use crate::rng::SimRng;
+use crate::shard::{Partition, SchedulerKind, ShardQueue};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ClockSample, Row, Trace};
 
@@ -36,6 +39,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// If set, record a [`ClockSample`] every interval of Newtonian time.
     pub sample_interval: Option<SimDuration>,
+    /// Event scheduler: one global heap, or per-shard heaps under
+    /// conservative lookahead. Never changes a run's result — only its
+    /// throughput.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -46,6 +53,7 @@ impl Default for SimConfig {
             rate_model: RateModel::default(),
             seed: 0,
             sample_interval: None,
+            scheduler: SchedulerKind::Global,
         }
     }
 }
@@ -73,8 +81,19 @@ struct TimerSlot {
     track: TrackId,
     target: f64,
     tag: TimerTag,
+    /// Bumped on every reschedule (re-anchoring); stale heap entries
+    /// carry an older generation and are skipped on pop.
     generation: u32,
+    /// Bumped on every slot *reuse*; a [`TimerId`] carries the epoch it
+    /// was issued under, so stale handles cannot cancel a successor
+    /// timer occupying the same slot. Distinct from `generation`, which
+    /// changes while one timer is still pending.
+    epoch: u32,
     active: bool,
+    /// Index of this slot's id inside its `track_timers` list — kept in
+    /// sync on every insertion/removal so firing and cancelling are O(1)
+    /// with no list scan.
+    list_pos: usize,
 }
 
 #[derive(Debug)]
@@ -82,30 +101,6 @@ enum Pending<M> {
     Timer { id: usize, generation: u32 },
     Message { from: NodeId, to: NodeId, msg: M },
     Sample,
-}
-
-struct HeapEntry<M> {
-    time: SimTime,
-    seq: u64,
-    pending: Pending<M>,
-}
-
-impl<M> PartialEq for HeapEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for HeapEntry<M> {}
-impl<M> PartialOrd for HeapEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for HeapEntry<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 /// Counters describing how much work a run performed.
@@ -131,8 +126,7 @@ struct SimState<M> {
     track_timers: Vec<Vec<Vec<usize>>>,
     timer_slots: Vec<TimerSlot>,
     timer_free: Vec<usize>,
-    queue: BinaryHeap<HeapEntry<M>>,
-    seq: u64,
+    queue: ShardQueue<Pending<M>>,
     delay_rng: SimRng,
     node_rngs: Vec<SimRng>,
     trace: Trace,
@@ -140,10 +134,11 @@ struct SimState<M> {
 }
 
 impl<M: Clone> SimState<M> {
-    fn push(&mut self, time: SimTime, pending: Pending<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(HeapEntry { time, seq, pending });
+    /// Schedules the next periodic sample. Samples are engine-global
+    /// events; they ride on shard 0 and dispatch in global order like
+    /// everything else.
+    fn push_sample(&mut self, time: SimTime) {
+        self.queue.push_unowned(time, Pending::Sample);
     }
 
     fn hardware_now(&mut self, node: NodeId) -> f64 {
@@ -171,7 +166,8 @@ impl<M: Clone> SimState<M> {
     fn schedule_timer_entry(&mut self, id: usize) {
         let slot = self.timer_slots[id];
         let time = self.when_track_reaches(slot.node, slot.track, slot.target);
-        self.push(
+        self.queue.push_for(
+            slot.node,
             time,
             Pending::Timer {
                 id,
@@ -191,17 +187,25 @@ impl<M: Clone> SimState<M> {
             track.index() < self.tracks[node.index()].len(),
             "unknown track {track:?} on {node}"
         );
+        let list_pos = self.track_timers[node.index()][track.index()].len();
         let slot = TimerSlot {
             node,
             track,
             target,
             tag,
             generation: 0,
+            epoch: 0,
             active: true,
+            list_pos,
         };
         let id = if let Some(id) = self.timer_free.pop() {
             let generation = self.timer_slots[id].generation.wrapping_add(1);
-            self.timer_slots[id] = TimerSlot { generation, ..slot };
+            let epoch = self.timer_slots[id].epoch.wrapping_add(1);
+            self.timer_slots[id] = TimerSlot {
+                generation,
+                epoch,
+                ..slot
+            };
             id
         } else {
             self.timer_slots.push(slot);
@@ -209,25 +213,57 @@ impl<M: Clone> SimState<M> {
         };
         self.track_timers[node.index()][track.index()].push(id);
         self.schedule_timer_entry(id);
-        TimerId(id)
+        TimerId {
+            id,
+            epoch: self.timer_slots[id].epoch,
+        }
+    }
+
+    /// Unlinks a retired timer id from its track list in O(1) via the
+    /// slot's back-pointer, repairing the pointer of the element swapped
+    /// into its place.
+    fn unlink_timer(&mut self, id: usize) {
+        let slot = self.timer_slots[id];
+        let list = &mut self.track_timers[slot.node.index()][slot.track.index()];
+        let pos = slot.list_pos;
+        debug_assert_eq!(list[pos], id, "timer back-pointer out of sync");
+        list.swap_remove(pos);
+        if pos < list.len() {
+            let moved = list[pos];
+            self.timer_slots[moved].list_pos = pos;
+        }
     }
 
     fn cancel_timer(&mut self, timer: TimerId) {
-        let id = timer.0;
+        let id = timer.id;
         if id >= self.timer_slots.len() || !self.timer_slots[id].active {
             return;
         }
-        let slot = self.timer_slots[id];
-        self.timer_slots[id].active = false;
-        let list = &mut self.track_timers[slot.node.index()][slot.track.index()];
-        if let Some(pos) = list.iter().position(|&x| x == id) {
-            list.swap_remove(pos);
+        // A handle outliving its timer must not cancel an unrelated
+        // timer that reused the slot: the epoch pins the handle to the
+        // exact timer it was issued for.
+        if self.timer_slots[id].epoch != timer.epoch {
+            return;
         }
+        self.timer_slots[id].active = false;
+        self.unlink_timer(id);
+        self.timer_free.push(id);
+    }
+
+    /// Retires a timer whose heap entry just fired: O(1), no allocation.
+    fn retire_fired_timer(&mut self, id: usize) {
+        self.timer_slots[id].active = false;
+        self.unlink_timer(id);
         self.timer_free.push(id);
     }
 
     /// Re-anchors a track at the current instant with a new multiplier and
     /// (optionally) a new value, rescheduling its pending timers.
+    ///
+    /// This is the hottest control-path operation (once per node per round
+    /// phase): it must not allocate. Rescheduling bumps each pending
+    /// timer's generation — the stale heap entries are skipped on pop —
+    /// and iterates the live-timer list in place by index.
     fn reanchor(&mut self, node: NodeId, track: TrackId, new_value: Option<f64>, new_mult: f64) {
         assert!(new_mult > 0.0, "track multipliers must be positive");
         let hw = self.hardware_now(node);
@@ -238,17 +274,39 @@ impl<M: Clone> SimState<M> {
             value_anchor: value,
             multiplier: new_mult,
         };
-        let ids: Vec<usize> = self.track_timers[node.index()][track.index()].clone();
-        for id in ids {
+        let count = self.track_timers[node.index()][track.index()].len();
+        for i in 0..count {
+            let id = self.track_timers[node.index()][track.index()][i];
             self.timer_slots[id].generation = self.timer_slots[id].generation.wrapping_add(1);
             self.schedule_timer_entry(id);
         }
     }
 
-    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+    fn send_with(&mut self, from: NodeId, to: NodeId, msg: M, staged: bool) {
         let delay = self.config.delay.sample(from, to, &mut self.delay_rng);
         let time = self.now + delay;
-        self.push(time, Pending::Message { from, to, msg });
+        let pending = Pending::Message { from, to, msg };
+        if staged {
+            self.queue.stage_for(to, time, pending);
+        } else {
+            self.queue.push_for(to, time, pending);
+        }
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.send_with(from, to, msg, false);
+    }
+
+    /// Sends `msg` to every neighbor of `from` without cloning the
+    /// adjacency list; the fan-out is staged in per-shard inboxes so
+    /// each destination shard absorbs its share of the batch with one
+    /// bulk heap merge instead of per-message sifting pushes.
+    fn broadcast(&mut self, from: NodeId, msg: &M) {
+        let count = self.adjacency[from.index()].len();
+        for i in 0..count {
+            let to = self.adjacency[from.index()][i];
+            self.send_with(from, to, msg.clone(), true);
+        }
     }
 
     fn take_sample(&mut self) {
@@ -392,18 +450,16 @@ impl<M: Clone> Ctx<'_, M> {
 
     /// Sends `msg` to every neighbor (not to the sender itself).
     pub fn broadcast(&mut self, msg: M) {
-        let neighbors = self.state.adjacency[self.node.index()].clone();
-        for to in neighbors {
-            self.state.send(self.node, to, msg.clone());
-        }
+        self.state.broadcast(self.node, &msg);
     }
 
     /// Sends `msg` to every neighbor *and* to the sender itself (loopback
     /// with the same delay bounds) — the pulse semantics of ClusterSync,
-    /// where a node also observes its own pulse.
+    /// where a node also observes its own pulse. The loopback joins the
+    /// broadcast's staged fan-out batch.
     pub fn broadcast_with_loopback(&mut self, msg: M) {
         self.broadcast(msg.clone());
-        self.state.send(self.node, self.node, msg);
+        self.state.send_with(self.node, self.node, msg, true);
     }
 
     /// Sends `msg` only to the sender itself (a *virtual* pulse, used by
@@ -512,6 +568,18 @@ impl<M: Clone> SimBuilder<M> {
     #[must_use]
     pub fn build(self) -> Simulation<M> {
         let n = self.behaviors.len();
+        let partition = match &self.config.scheduler {
+            SchedulerKind::Global => Partition::single(n),
+            SchedulerKind::Sharded(p) => {
+                assert_eq!(
+                    p.node_count(),
+                    n,
+                    "scheduler partition covers {} nodes but the simulation has {n}",
+                    p.node_count()
+                );
+                p.clone()
+            }
+        };
         let root = SimRng::seed_from(self.config.seed);
         let clocks = (0..n)
             .map(|i| {
@@ -540,8 +608,7 @@ impl<M: Clone> SimBuilder<M> {
             track_timers: (0..n).map(|_| vec![Vec::new()]).collect(),
             timer_slots: Vec::new(),
             timer_free: Vec::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: ShardQueue::new(&partition),
             delay_rng: root.derive("delay", 0),
             node_rngs,
             trace: Trace::new(),
@@ -641,7 +708,7 @@ impl<M: Clone> Simulation<M> {
         let was_off = self.state.config.sample_interval.is_none();
         self.state.config.sample_interval = interval;
         if was_off && interval.is_some() && self.started {
-            self.state.push(self.state.now, Pending::Sample);
+            self.state.push_sample(self.state.now);
         }
     }
 
@@ -651,7 +718,7 @@ impl<M: Clone> Simulation<M> {
         }
         self.started = true;
         if self.state.config.sample_interval.is_some() {
-            self.state.push(SimTime::ZERO, Pending::Sample);
+            self.state.push_sample(SimTime::ZERO);
         }
         for i in 0..self.behaviors.len() {
             self.dispatch_start(NodeId(i));
@@ -676,15 +743,11 @@ impl<M: Clone> Simulation<M> {
     /// afterwards equals `until` even if the queue drained early.
     pub fn run_until(&mut self, until: SimTime) {
         self.start_if_needed();
-        while let Some(entry) = self.state.queue.peek() {
-            if entry.time > until {
-                break;
-            }
-            let entry = self.state.queue.pop().expect("peeked");
-            debug_assert!(entry.time >= self.state.now, "time went backwards");
-            self.state.now = entry.time;
+        while let Some((time, pending)) = self.state.queue.pop_before(until) {
+            debug_assert!(time >= self.state.now, "time went backwards");
+            self.state.now = time;
             self.state.stats.events += 1;
-            match entry.pending {
+            match pending {
                 Pending::Timer { id, generation } => {
                     let slot = self.state.timer_slots[id];
                     if !slot.active || slot.generation != generation {
@@ -692,12 +755,7 @@ impl<M: Clone> Simulation<M> {
                     }
                     // Retire the timer before dispatch so the behavior can
                     // set a new one from the callback.
-                    self.state.timer_slots[id].active = false;
-                    let list = &mut self.state.track_timers[slot.node.index()][slot.track.index()];
-                    if let Some(pos) = list.iter().position(|&x| x == id) {
-                        list.swap_remove(pos);
-                    }
-                    self.state.timer_free.push(id);
+                    self.state.retire_fired_timer(id);
                     self.state.stats.timers += 1;
                     let mut behavior = self.behaviors[slot.node.index()]
                         .take()
@@ -730,7 +788,7 @@ impl<M: Clone> Simulation<M> {
                     // run_until calls (`None` pauses the chain; a later
                     // set_sample_interval resumes it).
                     if let Some(interval) = self.state.config.sample_interval {
-                        self.state.push(self.state.now + interval, Pending::Sample);
+                        self.state.push_sample(self.state.now + interval);
                     }
                 }
             }
@@ -792,6 +850,7 @@ mod tests {
             rate_model: RateModel::Constant { frac: 0.0 },
             seed: 42,
             sample_interval: None,
+            scheduler: SchedulerKind::Global,
         }
     }
 
@@ -918,6 +977,43 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(10.0));
         assert_eq!(*fired.borrow(), vec![2]);
+    }
+
+    struct StaleCanceller {
+        fired: Rc<RefCell<Vec<u32>>>,
+        first: Option<TimerId>,
+    }
+
+    impl Behavior<()> for StaleCanceller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.first = Some(ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1)));
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
+            self.fired.borrow_mut().push(tag.kind);
+            if tag.kind == 1 {
+                // Timer 1 just fired, freeing its slot; the next timer
+                // reuses it. Cancelling the *stale* handle must be a
+                // no-op and leave the successor alive.
+                let successor = ctx.set_timer_at(TrackId::MAIN, 2.0, TimerTag::new(2));
+                let stale = self.first.take().expect("handle stored at start");
+                assert_ne!(stale, successor, "epoch must distinguish reused slots");
+                ctx.cancel_timer(stale);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_a_slot_reusing_successor() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new(fixed_delay_config());
+        b.add_node(Box::new(StaleCanceller {
+            fired: fired.clone(),
+            first: None,
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(*fired.borrow(), vec![1, 2]);
     }
 
     struct Extra {

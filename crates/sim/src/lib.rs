@@ -53,6 +53,7 @@ pub mod engine;
 pub mod network;
 pub mod node;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
@@ -61,5 +62,6 @@ pub use engine::{Ctx, SimBuilder, SimConfig, SimStats, Simulation};
 pub use network::{DelayConfig, DelayDistribution};
 pub use node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
 pub use rng::SimRng;
+pub use shard::{Partition, SchedulerKind, ShardQueue};
 pub use time::{SimDuration, SimTime};
 pub use trace::{ClockSample, Row, Trace};

@@ -111,8 +111,16 @@ impl TimerTag {
 }
 
 /// Handle to a pending timer, usable for cancellation.
+///
+/// The handle carries the timer slot's reuse epoch, so cancelling a
+/// handle whose timer has already fired (or been cancelled) is a
+/// guaranteed no-op even after the engine reuses the slot for a new
+/// timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerId(pub(crate) usize);
+pub struct TimerId {
+    pub(crate) id: usize,
+    pub(crate) epoch: u32,
+}
 
 /// The driver of a node: reacts to simulation events via the [`Ctx`] API.
 ///

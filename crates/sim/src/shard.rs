@@ -1,0 +1,697 @@
+//! Sharded event scheduling with conservative lookahead.
+//!
+//! The engine's event queue can be split into *shards* — one per cluster
+//! of the simulated network — each owning a private binary heap. The
+//! split exploits the seam the paper's model provides: every
+//! inter-cluster message is delayed by at least `d − U > 0`, so a shard
+//! that is globally earliest can process a *run* of its own events
+//! without consulting the others (Chandy–Misra-style conservative
+//! synchronization, here as a single-threaded min-merge over shard
+//! heads rather than null messages).
+//!
+//! Concretely, [`ShardQueue`] maintains for the currently *selected*
+//! shard a **horizon**: the smallest event key any other shard could
+//! dispatch next. While the selected shard's head stays below the
+//! horizon it pops from its own heap only (the fast path); cross-shard
+//! sends lower the horizon as they are staged, which is exactly the
+//! lookahead barrier. Events carry a `(time, seq)` key with a globally
+//! unique sequence number, and the queue always dispatches the global
+//! key minimum — so a sharded run is **event-for-event identical** to a
+//! single-heap run, which `tests/shard_equivalence.rs` pins down
+//! byte-for-byte. The delay floor `d − U` is therefore a *performance*
+//! knob (larger floor → longer fast-path runs), never a correctness
+//! input.
+//!
+//! Incoming events are staged in a per-shard **inbox** and merged into
+//! the heap in bulk the next time the shard pops. A k-member cluster
+//! pulse enqueues its k² fan-out entries as appends plus one
+//! heapify-extend instead of k² sifting pushes.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Assignment of simulation nodes to scheduler shards.
+///
+/// Shard ids are dense (`0..shard_count`). A good partition puts nodes
+/// that exchange low-latency messages in the same shard and lets only
+/// `≥ d − U`-delayed traffic cross shards; for the paper's cluster
+/// graphs that is one shard per cluster (see
+/// `ftgcs::cluster::cluster_partition`).
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_sim::shard::Partition;
+/// use ftgcs_sim::node::NodeId;
+///
+/// // Two clusters of 4 nodes each.
+/// let p = Partition::by_blocks(8, 4);
+/// assert_eq!(p.shard_count(), 2);
+/// assert_eq!(p.shard_of(NodeId(5)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    shard_of: Vec<u32>,
+    shard_count: usize,
+}
+
+impl Partition {
+    /// All nodes in one shard — the degenerate case equivalent to a
+    /// single global heap.
+    #[must_use]
+    pub fn single(nodes: usize) -> Self {
+        Partition {
+            shard_of: vec![0; nodes],
+            shard_count: 1,
+        }
+    }
+
+    /// Contiguous blocks of `block` nodes per shard (the layout of
+    /// cluster graphs, whose cluster `c` owns nodes `c·k..(c+1)·k`).
+    /// The last shard may be smaller when `block` does not divide
+    /// `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    #[must_use]
+    pub fn by_blocks(nodes: usize, block: usize) -> Self {
+        assert!(block > 0, "shard block size must be positive");
+        let shard_of: Vec<u32> = (0..nodes).map(|i| (i / block) as u32).collect();
+        let shard_count = shard_of.last().map_or(1, |&s| s as usize + 1);
+        Partition {
+            shard_of,
+            shard_count,
+        }
+    }
+
+    /// An explicit node → shard assignment (may be ragged).
+    ///
+    /// The shard count is `max(assignment) + 1`; empty shards in the
+    /// middle of the range are allowed and harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` shards are requested.
+    #[must_use]
+    pub fn from_assignment(assignment: Vec<usize>) -> Self {
+        let shard_count = assignment.iter().max().map_or(1, |&s| s + 1);
+        assert!(
+            u32::try_from(shard_count).is_ok(),
+            "shard count {shard_count} exceeds u32 range"
+        );
+        let shard_of = assignment.into_iter().map(|s| s as u32).collect();
+        Partition {
+            shard_of,
+            shard_count,
+        }
+    }
+
+    /// Number of shards (always at least 1).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Number of nodes covered by the partition.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the partition.
+    #[must_use]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of[node.index()] as usize
+    }
+}
+
+/// Which event scheduler a simulation uses.
+///
+/// Both variants dispatch events in the identical global order, so
+/// switching the scheduler never changes a run's trace — only its
+/// throughput. `Global` is literally the 1-shard degenerate case of the
+/// sharded queue.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// One global heap (the 1-shard degenerate case).
+    #[default]
+    Global,
+    /// Per-shard heaps advanced under conservative lookahead. The
+    /// partition must cover exactly the simulation's nodes.
+    Sharded(Partition),
+}
+
+/// Total dispatch order: earliest time first, insertion order among
+/// equal times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+}
+
+impl Key {
+    /// Sentinel greater than every real key (empty-shard head).
+    fn max() -> Key {
+        Key {
+            time: SimTime::from_secs(f64::INFINITY),
+            seq: u64::MAX,
+        }
+    }
+}
+
+struct Entry<T> {
+    key: Key,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// One shard: a heap of accepted events plus an inbox of staged
+/// arrivals that are merged in bulk at the next pop.
+struct Shard<T> {
+    heap: BinaryHeap<Entry<T>>,
+    inbox: Vec<Entry<T>>,
+    /// Smallest key in `inbox` (`Key::max()` when empty).
+    inbox_min: Key,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        Shard {
+            heap: BinaryHeap::new(),
+            inbox: Vec::new(),
+            inbox_min: Key::max(),
+        }
+    }
+
+    /// Smallest key this shard could dispatch next.
+    fn head_key(&self) -> Key {
+        let heap_min = self.heap.peek().map_or_else(Key::max, |e| e.key);
+        heap_min.min(self.inbox_min)
+    }
+
+    /// Merges the inbox into the heap: one O(n+m) heapify when the
+    /// batch is large relative to the heap (the k² pulse fan-out case),
+    /// ordinary sifting pushes when it is small.
+    fn merge_inbox(&mut self) {
+        if self.inbox.is_empty() {
+            return;
+        }
+        if self.inbox.len() >= self.heap.len() / 2 {
+            let mut v = std::mem::take(&mut self.heap).into_vec();
+            v.append(&mut self.inbox);
+            self.heap = BinaryHeap::from(v);
+        } else {
+            self.heap.extend(self.inbox.drain(..));
+        }
+        self.inbox_min = Key::max();
+    }
+}
+
+impl<T> std::fmt::Debug for Shard<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Shard(heap={}, inbox={})",
+            self.heap.len(),
+            self.inbox.len()
+        )
+    }
+}
+
+/// Work counters exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Inbox → heap bulk merges performed (lookahead barriers crossed).
+    pub merges: u64,
+    /// Shard re-selections (ends of fast-path runs).
+    pub reselects: u64,
+}
+
+/// One entry of the head index: a shard advertising its earliest key.
+/// Lazily invalidated — an entry is current iff `key` still equals the
+/// shard's actual head key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Head {
+    key: Key,
+    shard: usize,
+}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest-advertised-key first.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// A partitioned event queue dispatching in global `(time, seq)` order.
+///
+/// See the [module docs](self) for the ordering and lookahead
+/// invariants. The queue is generic over its payload so it can be
+/// property-tested independently of the engine.
+///
+/// # Examples
+///
+/// ```
+/// use ftgcs_sim::shard::{Partition, ShardQueue};
+/// use ftgcs_sim::node::NodeId;
+/// use ftgcs_sim::time::SimTime;
+///
+/// let mut q = ShardQueue::new(&Partition::by_blocks(4, 2));
+/// q.push_for(NodeId(3), SimTime::from_secs(2.0), "late");
+/// q.push_for(NodeId(0), SimTime::from_secs(1.0), "early");
+/// let horizon = SimTime::from_secs(10.0);
+/// assert_eq!(q.pop_before(horizon), Some((SimTime::from_secs(1.0), "early")));
+/// assert_eq!(q.pop_before(horizon), Some((SimTime::from_secs(2.0), "late")));
+/// assert_eq!(q.pop_before(horizon), None);
+/// ```
+pub struct ShardQueue<T> {
+    shards: Vec<Shard<T>>,
+    shard_of: Vec<u32>,
+    /// Next globally unique sequence number.
+    seq: u64,
+    /// Total queued events across all shards.
+    len: usize,
+    /// The shard currently holding the global minimum (may be stale;
+    /// revalidated against `horizon` on every peek).
+    selected: usize,
+    /// Lower bound on every *other* shard's head key. Exact at
+    /// re-selection, tightened by cross-shard pushes afterwards.
+    horizon: Key,
+    /// Lazy min-heap over advertised shard heads, so switching shards
+    /// costs O(log s) instead of scanning every shard. Entries are
+    /// advertised when a push improves a non-selected shard's head and
+    /// when a shard is deselected; stale entries (key no longer the
+    /// shard's actual head) are discarded during re-selection. Every
+    /// non-empty, non-selected shard always has a current entry.
+    heads: BinaryHeap<Head>,
+    stats: QueueStats,
+}
+
+impl<T> ShardQueue<T> {
+    /// Creates an empty queue over `partition`.
+    #[must_use]
+    pub fn new(partition: &Partition) -> Self {
+        let count = partition.shard_count().max(1);
+        let shards = (0..count).map(|_| Shard::new()).collect();
+        ShardQueue {
+            shards,
+            shard_of: partition.shard_of.clone(),
+            seq: 0,
+            len: 0,
+            selected: 0,
+            horizon: Key::max(),
+            heads: BinaryHeap::new(),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Number of queued events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Work counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// `true` to stage in the inbox (bulk-merged later), `false` for a
+    /// direct sifting push into the selected shard's heap.
+    fn push_to_shard(&mut self, shard: usize, time: SimTime, payload: T, stage: bool) {
+        let key = Key {
+            time,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        if shard == self.selected && !stage {
+            // Single event on the running shard: a direct heap push is
+            // cheaper than staging one entry and merging it right back.
+            self.shards[shard].heap.push(Entry { key, payload });
+            self.len += 1;
+            return;
+        }
+        if shard != self.selected {
+            // A staged cross-shard arrival may now be the earliest
+            // event another shard can dispatch: advertise the improved
+            // head and shrink the selected shard's lookahead horizon.
+            if key < self.shards[shard].head_key() {
+                self.heads.push(Head { key, shard });
+            }
+            if key < self.horizon {
+                self.horizon = key;
+            }
+        }
+        let s = &mut self.shards[shard];
+        s.inbox.push(Entry { key, payload });
+        if key < s.inbox_min {
+            s.inbox_min = key;
+        }
+        self.len += 1;
+    }
+
+    /// Enqueues a single event owned by `node` (dispatched on its
+    /// shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the partition the queue was built
+    /// with.
+    pub fn push_for(&mut self, node: NodeId, time: SimTime, payload: T) {
+        let shard = self.shard_of[node.index()] as usize;
+        self.push_to_shard(shard, time, payload, false);
+    }
+
+    /// Enqueues one event of a fan-out batch (a broadcast's k messages):
+    /// always staged in the destination shard's inbox so the whole batch
+    /// is absorbed by one bulk heap merge instead of k sifting pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the partition the queue was built
+    /// with.
+    pub fn stage_for(&mut self, node: NodeId, time: SimTime, payload: T) {
+        let shard = self.shard_of[node.index()] as usize;
+        self.push_to_shard(shard, time, payload, true);
+    }
+
+    /// Enqueues an engine-global event (samples); it is owned by shard
+    /// 0 and still dispatched in global order.
+    pub fn push_unowned(&mut self, time: SimTime, payload: T) {
+        self.push_to_shard(0, time, payload, false);
+    }
+
+    /// Recomputes the selected shard (global head-key minimum) and the
+    /// horizon (minimum over the remaining shards) from the lazy head
+    /// index. O(log s) amortized per switch.
+    ///
+    /// Precondition: the queue is non-empty.
+    fn reselect(&mut self) -> Key {
+        self.stats.reselects += 1;
+        // Re-advertise the outgoing shard: its head moved while it was
+        // selected, so its previous advertisement (if any) is stale.
+        let cur = self.shards[self.selected].head_key();
+        if cur < Key::max() {
+            self.heads.push(Head {
+                key: cur,
+                shard: self.selected,
+            });
+        }
+        // Select the earliest *current* advertisement. Every non-empty
+        // shard has one (pushes advertise head improvements, the line
+        // above covers the outgoing shard), so this loop always
+        // terminates on a valid entry while the queue is non-empty.
+        loop {
+            let Head { key, shard } = self
+                .heads
+                .pop()
+                .expect("non-empty queue must have an advertised head");
+            if self.shards[shard].head_key() != key {
+                continue; // stale advertisement
+            }
+            self.selected = shard;
+            // Horizon: the earliest current head among the *other*
+            // shards. Entries of the newly selected shard are dropped —
+            // deselection re-advertises unconditionally, so that is
+            // safe.
+            loop {
+                match self.heads.peek() {
+                    None => {
+                        self.horizon = Key::max();
+                        break;
+                    }
+                    Some(&Head { key: k, shard: s }) => {
+                        if s != self.selected && self.shards[s].head_key() == k {
+                            self.horizon = k;
+                            break;
+                        }
+                        self.heads.pop();
+                    }
+                }
+            }
+            return key;
+        }
+    }
+
+    /// The key of the globally next event, revalidating the fast path.
+    fn peek_key(&mut self) -> Option<Key> {
+        if self.len == 0 {
+            return None;
+        }
+        let k = self.shards[self.selected].head_key();
+        if k < self.horizon {
+            // Fast path: the selected shard is still strictly earliest.
+            Some(k)
+        } else {
+            Some(self.reselect())
+        }
+    }
+
+    /// Invariant check used by debug assertions and property tests: the
+    /// fast-path head is the true global minimum.
+    #[cfg(test)]
+    fn true_min(&self) -> Key {
+        self.shards
+            .iter()
+            .map(Shard::head_key)
+            .min()
+            .unwrap_or_else(Key::max)
+    }
+
+    /// Pops the globally earliest event if its time is at most `until`.
+    pub fn pop_before(&mut self, until: SimTime) -> Option<(SimTime, T)> {
+        let key = self.peek_key()?;
+        if key.time > until {
+            return None;
+        }
+        let s = &mut self.shards[self.selected];
+        if !s.inbox.is_empty() {
+            self.stats.merges += 1;
+            s.merge_inbox();
+        }
+        let e = s.heap.pop().expect("peeked key implies a queued event");
+        debug_assert_eq!(e.key, key, "shard head changed between peek and pop");
+        self.len -= 1;
+        Some((e.key.time, e.payload))
+    }
+}
+
+impl<T> std::fmt::Debug for ShardQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardQueue(shards={}, len={}, selected={})",
+            self.shards.len(),
+            self.len,
+            self.selected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn partition_constructors() {
+        let p = Partition::single(5);
+        assert_eq!(p.shard_count(), 1);
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.shard_of(NodeId(4)), 0);
+
+        let p = Partition::by_blocks(10, 4);
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.shard_of(NodeId(9)), 2);
+
+        let p = Partition::from_assignment(vec![2, 0, 2, 1]);
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.shard_of(NodeId(0)), 2);
+
+        // Empty partitions still have one shard for unowned events.
+        let q = ShardQueue::<u8>::new(&Partition::single(0));
+        assert_eq!(q.shard_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        let _ = Partition::by_blocks(4, 0);
+    }
+
+    #[test]
+    fn pops_in_global_time_order_across_shards() {
+        let p = Partition::by_blocks(4, 1);
+        let mut q = ShardQueue::new(&p);
+        q.push_for(NodeId(0), t(3.0), 'a');
+        q.push_for(NodeId(1), t(1.0), 'b');
+        q.push_for(NodeId(2), t(2.0), 'c');
+        q.push_for(NodeId(3), t(1.5), 'd');
+        let order: Vec<char> =
+            std::iter::from_fn(|| q.pop_before(t(10.0)).map(|(_, c)| c)).collect();
+        assert_eq!(order, vec!['b', 'd', 'c', 'a']);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let p = Partition::by_blocks(2, 1);
+        let mut q = ShardQueue::new(&p);
+        q.push_for(NodeId(1), t(1.0), "first");
+        q.push_for(NodeId(0), t(1.0), "second");
+        q.push_unowned(t(1.0), "third");
+        assert_eq!(q.pop_before(t(1.0)).unwrap().1, "first");
+        assert_eq!(q.pop_before(t(1.0)).unwrap().1, "second");
+        assert_eq!(q.pop_before(t(1.0)).unwrap().1, "third");
+    }
+
+    #[test]
+    fn pop_before_respects_bound() {
+        let mut q = ShardQueue::new(&Partition::single(1));
+        q.push_for(NodeId(0), t(5.0), ());
+        assert_eq!(q.pop_before(t(4.999)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(t(5.0)), Some((t(5.0), ())));
+    }
+
+    #[test]
+    fn cross_shard_push_shrinks_horizon_mid_run() {
+        // Shard 0 has a run of events; a later push lands an earlier
+        // event in shard 1 which must preempt the rest of the run.
+        let p = Partition::by_blocks(2, 1);
+        let mut q = ShardQueue::new(&p);
+        for i in 0..5 {
+            q.push_for(NodeId(0), t(1.0 + f64::from(i)), 0usize);
+        }
+        assert_eq!(q.pop_before(t(100.0)).unwrap().0, t(1.0));
+        // While "processing" shard 0, an event for shard 1 arrives at
+        // t=2.5, between shard 0's pending events.
+        q.push_for(NodeId(1), t(2.5), 1usize);
+        let seq: Vec<(f64, usize)> =
+            std::iter::from_fn(|| q.pop_before(t(100.0)).map(|(tm, s)| (tm.as_secs(), s)))
+                .collect();
+        assert_eq!(seq, vec![(2.0, 0), (2.5, 1), (3.0, 0), (4.0, 0), (5.0, 0)]);
+    }
+
+    #[test]
+    fn fast_path_always_returns_the_global_minimum() {
+        // Deterministic pseudo-random interleaving of pushes and pops
+        // over 5 shards; every pop must match the exhaustive minimum.
+        let p = Partition::from_assignment(vec![0, 1, 2, 3, 4, 0, 1, 2]);
+        let mut q = ShardQueue::new(&p);
+        let mut lcg: u64 = 0x243F_6A88_85A3_08D3;
+        let mut step = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut now = 0.0f64;
+        for _ in 0..4000 {
+            let r = step();
+            if r % 3 != 0 || q.is_empty() {
+                let node = (step() % 8) as usize;
+                let dt = (step() % 1000) as f64 * 1e-4;
+                q.push_for(NodeId(node), t(now + dt), node);
+            } else {
+                let expect = q.true_min();
+                let (tm, _) = q.pop_before(t(f64::MAX / 2.0)).expect("non-empty");
+                assert_eq!(tm, expect.time, "queue skipped the global minimum");
+                now = tm.as_secs();
+            }
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((tm, _)) = q.pop_before(t(f64::MAX / 2.0)) {
+            assert!(tm >= last);
+            last = tm;
+        }
+    }
+
+    #[test]
+    fn bulk_merge_and_fast_path_counters_behave() {
+        let p = Partition::by_blocks(8, 4);
+        let mut q = ShardQueue::new(&p);
+        // Staged burst of 16 events into shard 0 (a pulse fan-out), one
+        // far event into shard 1.
+        for i in 0..16 {
+            q.stage_for(NodeId(i % 4), t(1.0 + 0.01 * i as f64), i);
+        }
+        q.push_for(NodeId(7), t(50.0), 99);
+        while q.pop_before(t(2.0)).is_some() {}
+        let stats = q.stats();
+        assert!(stats.merges >= 1, "staged inbox must be bulk-merged");
+        assert!(
+            stats.reselects <= 3,
+            "fast path must cover the burst (reselects = {})",
+            stats.reselects
+        );
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn staged_and_direct_pushes_interleave_correctly() {
+        let p = Partition::by_blocks(4, 2);
+        let mut q = ShardQueue::new(&p);
+        q.stage_for(NodeId(0), t(2.0), "staged-late");
+        q.push_for(NodeId(0), t(1.0), "direct-early");
+        q.stage_for(NodeId(3), t(1.5), "cross-staged");
+        q.push_for(NodeId(2), t(0.5), "cross-direct");
+        let order: Vec<&str> =
+            std::iter::from_fn(|| q.pop_before(t(10.0)).map(|(_, s)| s)).collect();
+        assert_eq!(
+            order,
+            vec![
+                "cross-direct",
+                "direct-early",
+                "cross-staged",
+                "staged-late"
+            ]
+        );
+    }
+}

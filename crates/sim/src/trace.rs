@@ -84,6 +84,24 @@ impl Trace {
         self.samples.last().map(|s| s.logical.as_slice())
     }
 
+    /// Canonical byte serialization of the whole trace: the samples CSV
+    /// followed by one `Debug`-formatted line per row.
+    ///
+    /// This is the format the determinism and scheduler-equivalence
+    /// suites compare — two runs are "byte-identical" exactly when
+    /// their `to_bytes()` outputs are equal — so it lives here rather
+    /// than being redefined per test crate.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_samples_csv(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        for row in &self.rows {
+            buf.extend_from_slice(format!("{row:?}\n").as_bytes());
+        }
+        buf
+    }
+
     /// Writes the clock samples as CSV (`t,node0,node1,...`) to `out`.
     ///
     /// # Errors

@@ -48,6 +48,7 @@ fn config(seed: u64) -> SimConfig {
         },
         seed,
         sample_interval: Some(SimDuration::from_millis(250.0)),
+        scheduler: ftgcs_sim::shard::SchedulerKind::Global,
     }
 }
 
@@ -63,19 +64,6 @@ fn run(seed: u64) -> Trace {
     sim.into_trace()
 }
 
-/// Serializes a trace to bytes: the samples CSV plus a line per row.
-/// Comparing these buffers compares everything the trace records.
-fn trace_bytes(trace: &Trace) -> Vec<u8> {
-    let mut buf = Vec::new();
-    trace
-        .write_samples_csv(&mut buf)
-        .expect("writing to a Vec cannot fail");
-    for row in &trace.rows {
-        buf.extend_from_slice(format!("{row:?}\n").as_bytes());
-    }
-    buf
-}
-
 #[test]
 fn identical_seed_and_config_give_byte_identical_traces() {
     let a = run(42);
@@ -85,8 +73,8 @@ fn identical_seed_and_config_give_byte_identical_traces() {
         "trace must be non-trivial for the comparison to mean anything"
     );
     assert_eq!(
-        trace_bytes(&a),
-        trace_bytes(&b),
+        a.to_bytes(),
+        b.to_bytes(),
         "same (seed, SimConfig) must reproduce the trace byte-for-byte"
     );
 }
@@ -96,8 +84,8 @@ fn different_seeds_give_different_traces() {
     let a = run(42);
     let c = run(43);
     assert_ne!(
-        trace_bytes(&a),
-        trace_bytes(&c),
+        a.to_bytes(),
+        c.to_bytes(),
         "a different seed must actually change the run, or the \
          determinism test above has no power"
     );

@@ -1,0 +1,234 @@
+//! Differential test: the sharded scheduler is **byte-identical** to the
+//! global heap.
+//!
+//! For a matrix of seeds × topologies (clique, line, NoC grid,
+//! adversarial hub) the same workload runs once per scheduler — the
+//! 1-shard global heap, an even split, a one-shard-per-cluster split,
+//! and a ragged split — and every run must produce the same trace
+//! byte-for-byte and the same work counters. This extends the
+//! determinism tests (`tests/determinism.rs`): determinism pins a run
+//! to its `(seed, config)`; this test pins it across *schedulers*, the
+//! invariant that makes deep engine refactors safe to land.
+
+use ftgcs_sim::clock::RateModel;
+use ftgcs_sim::engine::{Ctx, SimBuilder, SimConfig, SimStats, Simulation};
+use ftgcs_sim::network::{DelayConfig, DelayDistribution};
+use ftgcs_sim::node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
+use ftgcs_sim::shard::{Partition, SchedulerKind};
+use ftgcs_sim::time::{SimDuration, SimTime};
+use ftgcs_sim::trace::Trace;
+
+/// A workload that exercises every engine feature the schedulers must
+/// agree on: timers, cancellations, rate changes, track jumps,
+/// broadcasts with loopback, per-node RNG, and trace rows.
+struct Churn {
+    pending: Option<TimerId>,
+    beats: u64,
+}
+
+impl Behavior<u64> for Churn {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.set_timer_at(TrackId::MAIN, 0.01, TimerTag::new(0));
+        // A decoy timer that is immediately cancelled — cancellation
+        // bookkeeping must not differ between schedulers.
+        let decoy = ctx.set_timer_at(TrackId::MAIN, 0.5, TimerTag::new(9));
+        ctx.cancel_timer(decoy);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _tag: TimerTag) {
+        self.beats += 1;
+        let token = ctx.rng().next_u64();
+        if self.beats.is_multiple_of(3) {
+            ctx.broadcast_with_loopback(token);
+        } else {
+            ctx.broadcast(token);
+        }
+        // Wiggle the rate so timers get rescheduled (generation churn).
+        let wiggle = 1.0 + 1e-3 * ctx.rng().uniform(0.0, 1.0);
+        ctx.set_multiplier(TrackId::MAIN, wiggle);
+        if self.beats.is_multiple_of(7) {
+            let v = ctx.track_value(TrackId::MAIN);
+            ctx.jump_track(TrackId::MAIN, v + 1e-4);
+        }
+        // Replace the pending far timer: set-then-cancel across rounds.
+        if let Some(t) = self.pending.take() {
+            ctx.cancel_timer(t);
+        }
+        let next = ctx.track_value(TrackId::MAIN) + 0.01;
+        ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(0));
+        self.pending = Some(ctx.set_timer_at(TrackId::MAIN, next + 5.0, TimerTag::new(1)));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: &u64) {
+        ctx.emit("churn", vec![from.index() as f64, (*msg % 4096) as f64]);
+    }
+}
+
+/// Edge lists for the four topology families, over `n` nodes.
+fn edges(topology: &str, n: usize) -> Vec<(usize, usize)> {
+    match topology {
+        "clique" => {
+            let mut e = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    e.push((i, j));
+                }
+            }
+            e
+        }
+        "line" => (0..n - 1).map(|i| (i, i + 1)).collect(),
+        // 4-wide NoC mesh: node (r, c) = r*4 + c, links right and down.
+        "grid" => {
+            let w = 4;
+            let h = n / w;
+            let mut e = Vec::new();
+            for r in 0..h {
+                for c in 0..w {
+                    let v = r * w + c;
+                    if c + 1 < w {
+                        e.push((v, v + 1));
+                    }
+                    if r + 1 < h {
+                        e.push((v, v + w));
+                    }
+                }
+            }
+            e
+        }
+        // Adversarial: a hub-and-spoke star (worst case for per-shard
+        // balance — the hub's shard serializes) with a chord ring so
+        // spokes also talk to each other.
+        "hub" => {
+            let mut e: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+            for i in 1..n {
+                let j = if i + 1 < n { i + 1 } else { 1 };
+                if i != j {
+                    e.push((i.min(j), i.max(j)));
+                }
+            }
+            e.sort_unstable();
+            e.dedup();
+            e
+        }
+        other => unreachable!("unknown topology {other}"),
+    }
+}
+
+fn config(seed: u64, scheduler: SchedulerKind, adversarial: bool) -> SimConfig {
+    SimConfig {
+        delay: DelayConfig::new(
+            SimDuration::from_millis(1.0),
+            SimDuration::from_micros(300.0),
+            if adversarial {
+                // Direction-dependent extremal delays: the classic
+                // schedule for maximizing perceived offsets.
+                DelayDistribution::AsymmetricById
+            } else {
+                DelayDistribution::Uniform
+            },
+        ),
+        rho: 1e-4,
+        rate_model: RateModel::RandomWalk {
+            dwell: 0.2,
+            step: 0.5,
+        },
+        seed,
+        sample_interval: Some(SimDuration::from_millis(100.0)),
+        scheduler,
+    }
+}
+
+fn run(topology: &str, n: usize, seed: u64, scheduler: SchedulerKind) -> (Trace, SimStats) {
+    let adversarial = topology == "hub";
+    let mut builder = SimBuilder::new(config(seed, scheduler, adversarial));
+    let ids: Vec<NodeId> = (0..n)
+        .map(|_| {
+            builder.add_node(Box::new(Churn {
+                pending: None,
+                beats: 0,
+            }))
+        })
+        .collect();
+    for (a, b) in edges(topology, n) {
+        builder.add_edge(ids[a], ids[b]);
+    }
+    let mut sim: Simulation<u64> = builder.build();
+    sim.run_until(SimTime::from_secs(1.0));
+    let stats = sim.stats();
+    (sim.into_trace(), stats)
+}
+
+/// The partitions each cell is checked under, besides the global heap.
+fn partitions(n: usize) -> Vec<(&'static str, Partition)> {
+    let ragged: Vec<usize> = (0..n)
+        .map(|i| if i == 0 { 0 } else { 1 + (i - 1) % 3 })
+        .collect();
+    vec![
+        ("halves", Partition::by_blocks(n, n.div_ceil(2))),
+        ("quads", Partition::by_blocks(n, n.div_ceil(4))),
+        ("per-node", Partition::by_blocks(n, 1)),
+        ("ragged", Partition::from_assignment(ragged)),
+    ]
+}
+
+#[test]
+fn sharded_and_global_schedulers_are_byte_identical() {
+    let n = 16;
+    for topology in ["clique", "line", "grid", "hub"] {
+        for seed in [1u64, 42, 1729] {
+            let (reference_trace, reference_stats) = run(topology, n, seed, SchedulerKind::Global);
+            assert!(
+                !reference_trace.rows.is_empty() && !reference_trace.samples.is_empty(),
+                "{topology}/seed {seed}: reference trace must be non-trivial"
+            );
+            let reference = reference_trace.to_bytes();
+            for (name, partition) in partitions(n) {
+                let (trace, stats) = run(topology, n, seed, SchedulerKind::Sharded(partition));
+                assert_eq!(
+                    stats, reference_stats,
+                    "{topology}/seed {seed}/{name}: work counters diverged"
+                );
+                assert_eq!(
+                    trace.to_bytes(),
+                    reference,
+                    "{topology}/seed {seed}/{name}: sharded trace diverged \
+                     from the global heap"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_run_reconfiguration_stays_equivalent() {
+    // Delay-distribution and sampling-interval switches mid-run mutate
+    // engine state outside any node callback; the schedulers must still
+    // agree afterwards.
+    let drive = |scheduler: SchedulerKind| {
+        let mut builder = SimBuilder::new(config(7, scheduler, false));
+        let ids: Vec<NodeId> = (0..8)
+            .map(|_| {
+                builder.add_node(Box::new(Churn {
+                    pending: None,
+                    beats: 0,
+                }))
+            })
+            .collect();
+        for (a, b) in edges("clique", 8) {
+            builder.add_edge(ids[a], ids[b]);
+        }
+        let mut sim: Simulation<u64> = builder.build();
+        sim.run_until(SimTime::from_secs(0.3));
+        sim.set_delay_distribution(DelayDistribution::Minimal);
+        sim.set_sample_interval(Some(SimDuration::from_millis(10.0)));
+        sim.run_until(SimTime::from_secs(0.6));
+        sim.set_delay_distribution(DelayDistribution::Maximal);
+        sim.run_until(SimTime::from_secs(1.0));
+        let stats = sim.stats();
+        (sim.into_trace().to_bytes(), stats)
+    };
+    let (global, gs) = drive(SchedulerKind::Global);
+    let (sharded, ss) = drive(SchedulerKind::Sharded(Partition::by_blocks(8, 2)));
+    assert_eq!(gs, ss);
+    assert_eq!(global, sharded, "mid-run reconfiguration broke equivalence");
+}

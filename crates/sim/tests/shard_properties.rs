@@ -1,0 +1,355 @@
+//! Property tests for the sharded scheduler and the timer machinery.
+//!
+//! Three invariants, each fuzzed over generated inputs:
+//!
+//! 1. **Shard order** — events pop in globally nondecreasing time order,
+//!    hence also nondecreasing within every shard, under arbitrary
+//!    push/pop interleavings that never push into the past.
+//! 2. **Lookahead floor & dispatch order** — under sharded scheduling
+//!    with cross-shard traffic, deliveries happen in nondecreasing
+//!    global time order (the scheduler invariant: no shard outruns an
+//!    earlier event pending elsewhere), and every latency lies in
+//!    `[d − U, d]` end to end (the delay model survives the staged
+//!    fan-out path).
+//! 3. **Timer invalidation** — a cancelled timer never fires, and no
+//!    timer double-fires, however many generation-bumping rate changes
+//!    and track jumps interleave with the cancellations.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use ftgcs_sim::clock::RateModel;
+use ftgcs_sim::engine::{Ctx, SimBuilder, SimConfig};
+use ftgcs_sim::network::{DelayConfig, DelayDistribution};
+use ftgcs_sim::node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
+use ftgcs_sim::shard::{Partition, SchedulerKind, ShardQueue};
+use ftgcs_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Property 1: pop order.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn events_pop_in_nondecreasing_time_order_per_shard(
+        assignment in prop::collection::vec(0usize..5, 1..24),
+        ops in prop::collection::vec((0u8..4, 0usize..24, 1u32..500), 1..200),
+    ) {
+        let nodes = assignment.len();
+        let partition = Partition::from_assignment(assignment.clone());
+        let mut q = ShardQueue::new(&partition);
+        // `now` advances with pops; pushes are always scheduled at or
+        // after `now`, mirroring how the engine uses the queue.
+        let mut now = SimTime::ZERO;
+        let mut pushed = 0usize;
+        let mut popped: Vec<(usize, SimTime)> = Vec::new();
+        for (action, node, dt_ms) in ops {
+            let node = node % nodes;
+            if action < 3 {
+                let t = now + SimDuration::from_millis(f64::from(dt_ms));
+                q.push_for(NodeId(node), t, node);
+                pushed += 1;
+            } else if let Some((t, payload)) =
+                q.pop_before(SimTime::from_secs(f64::MAX / 2.0))
+            {
+                prop_assert!(t >= now, "pop went back in time: {t} < {now}");
+                now = t;
+                popped.push((assignment[payload], t));
+            }
+        }
+        // Drain the rest.
+        while let Some((t, payload)) = q.pop_before(SimTime::from_secs(f64::MAX / 2.0)) {
+            prop_assert!(t >= now, "drain went back in time");
+            now = t;
+            popped.push((assignment[payload], t));
+        }
+        // Nothing lost or duplicated.
+        prop_assert_eq!(popped.len(), pushed);
+        // Global nondecreasing order implies per-shard nondecreasing
+        // order; check the per-shard claim explicitly anyway.
+        for shard in 0..partition.shard_count() {
+            let times: Vec<SimTime> = popped
+                .iter()
+                .filter(|&&(s, _)| s == shard)
+                .map(|&(_, t)| t)
+                .collect();
+            prop_assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "shard {shard} popped out of order"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 2: lookahead floor.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct DeliveryLog {
+    /// `(from, to, send_time, delivery_time)` per delivery.
+    deliveries: Vec<(usize, usize, f64, f64)>,
+}
+
+/// Broadcasts its current Newtonian time on a fixed cadence; receivers
+/// log the send → delivery latency. (Reading Newtonian time in a
+/// behavior is the omniscient-observer convention used by trace
+/// recorders; here it measures the network itself.)
+struct Beacon {
+    log: Rc<RefCell<DeliveryLog>>,
+}
+
+impl Behavior<f64> for Beacon {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, f64>) {
+        ctx.set_timer_at(TrackId::MAIN, 0.01, TimerTag::new(0));
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, f64>, _tag: TimerTag) {
+        let now = ctx.newtonian_now().as_secs();
+        ctx.broadcast(now);
+        let next = ctx.track_value(TrackId::MAIN) + 0.05;
+        ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(0));
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, f64>, from: NodeId, msg: &f64) {
+        self.log.borrow_mut().deliveries.push((
+            from.index(),
+            ctx.my_id().index(),
+            *msg,
+            ctx.newtonian_now().as_secs(),
+        ));
+    }
+}
+
+proptest! {
+    #[test]
+    fn no_message_beats_the_lookahead_horizon(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..12,
+        block in 1usize..5,
+        dist in 0u8..3,
+    ) {
+        // The cross-shard assertion at the bottom needs a genuinely
+        // partitioned network; discard 1-shard cases before paying for
+        // the simulation.
+        prop_assume!(block < nodes);
+        let d = 1e-3;
+        let u = 4e-4;
+        let distribution = match dist {
+            0 => DelayDistribution::Uniform,
+            1 => DelayDistribution::AsymmetricById,
+            _ => DelayDistribution::AlternatingByDst,
+        };
+        let partition = Partition::by_blocks(nodes, block);
+        let config = SimConfig {
+            delay: DelayConfig::new(
+                SimDuration::from_secs(d),
+                SimDuration::from_secs(u),
+                distribution,
+            ),
+            rho: 1e-4,
+            rate_model: RateModel::RandomConstant,
+            seed,
+            sample_interval: None,
+            scheduler: SchedulerKind::Sharded(partition.clone()),
+        };
+        let log = Rc::new(RefCell::new(DeliveryLog::default()));
+        let mut b = SimBuilder::new(config);
+        let ids: Vec<NodeId> = (0..nodes)
+            .map(|_| b.add_node(Box::new(Beacon { log: Rc::clone(&log) })))
+            .collect();
+        // Ring plus one long chord: guarantees cross-shard edges for
+        // every block size > 0.
+        for i in 0..nodes {
+            b.add_edge(ids[i], ids[(i + 1) % nodes]);
+        }
+        if nodes > 4 {
+            b.add_edge(ids[0], ids[nodes / 2]);
+        }
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(0.5));
+        let log = log.borrow();
+        prop_assert!(!log.deliveries.is_empty(), "workload delivered nothing");
+        let mut cross_shard = 0usize;
+        // Deliveries are logged in dispatch order; a scheduler that let
+        // one shard outrun an earlier event pending in another shard
+        // would produce a decreasing delivery timestamp here.
+        let mut last_dispatch = f64::NEG_INFINITY;
+        for &(from, to, sent, delivered) in &log.deliveries {
+            prop_assert!(
+                delivered >= last_dispatch,
+                "dispatch went backwards: {from}->{to} delivered at \
+                 {delivered:.9} after an event at {last_dispatch:.9}"
+            );
+            last_dispatch = delivered;
+            let latency = delivered - sent;
+            prop_assert!(
+                latency >= d - u - 1e-12,
+                "message {from}->{to} beat the lookahead floor: \
+                 latency {latency:.9} < d-U {:.9}",
+                d - u
+            );
+            prop_assert!(
+                latency <= d + 1e-12,
+                "message {from}->{to} exceeded the delay bound: {latency:.9}"
+            );
+            if partition.shard_of(NodeId(from)) != partition.shard_of(NodeId(to)) {
+                cross_shard += 1;
+            }
+        }
+        // The property is about cross-shard traffic: make sure the
+        // generated topology actually produced some.
+        prop_assert!(cross_shard > 0, "no cross-shard messages exercised");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property 3: timer invalidation.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct TimerLog {
+    fired: Vec<u64>,
+    cancelled: BTreeSet<u64>,
+    /// Tokens issued so far (dense `0..next_token`).
+    next_token: u64,
+    /// Tokens issued but neither fired nor cancelled yet.
+    still_pending: BTreeSet<u64>,
+}
+
+/// Executes a generated script of timer ops on a tick cadence, logging
+/// which data-timer tokens fire and which were cancelled first.
+struct Scripted {
+    ops: Vec<(u8, f64)>,
+    next_op: usize,
+    next_token: u64,
+    /// Live handles: `(token, id)`; entries move to `retired` on fire.
+    pending: Vec<(u64, TimerId)>,
+    /// Handles of already-fired timers. Cancelling one is a stale
+    /// cancel — the epoch in [`TimerId`] must make it a no-op even
+    /// when the engine has reused the slot for a later timer.
+    retired: Vec<(u64, TimerId)>,
+    log: Rc<RefCell<TimerLog>>,
+}
+
+const TICK: f64 = 0.05;
+
+impl Behavior<()> for Scripted {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.set_timer_at(TrackId::MAIN, TICK, TimerTag::new(0));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
+        if tag.kind == 1 {
+            let mut log = self.log.borrow_mut();
+            log.fired.push(tag.b);
+            log.still_pending.remove(&tag.b);
+            drop(log);
+            if let Some(pos) = self.pending.iter().position(|&(token, _)| token == tag.b) {
+                self.retired.push(self.pending.swap_remove(pos));
+            }
+            return;
+        }
+        // Tick: run the next scripted op, then re-arm the tick.
+        if let Some(&(op, value)) = self.ops.get(self.next_op) {
+            self.next_op += 1;
+            match op % 4 {
+                0 => {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let target = ctx.track_value(TrackId::MAIN) + value * 4.0 * TICK;
+                    let id =
+                        ctx.set_timer_at(TrackId::MAIN, target, TimerTag::new(1).with_b(token));
+                    self.pending.push((token, id));
+                    let mut log = self.log.borrow_mut();
+                    log.next_token = self.next_token;
+                    log.still_pending.insert(token);
+                }
+                1 => {
+                    // Half the cancels target live timers (recorded as
+                    // cancelled), half replay a stale handle of an
+                    // already-fired timer (must be a no-op).
+                    if value < 0.5 {
+                        if !self.pending.is_empty() {
+                            let idx = (value * 2.0 * self.pending.len() as f64) as usize
+                                % self.pending.len();
+                            let (token, id) = self.pending.swap_remove(idx);
+                            ctx.cancel_timer(id);
+                            let mut log = self.log.borrow_mut();
+                            log.cancelled.insert(token);
+                            log.still_pending.remove(&token);
+                        }
+                    } else if !self.retired.is_empty() {
+                        let idx = ((value - 0.5) * 2.0 * self.retired.len() as f64) as usize
+                            % self.retired.len();
+                        let (_, stale) = self.retired[idx];
+                        ctx.cancel_timer(stale);
+                    }
+                }
+                2 => ctx.set_multiplier(TrackId::MAIN, 1.0 + value),
+                _ => {
+                    let v = ctx.track_value(TrackId::MAIN);
+                    ctx.jump_track(TrackId::MAIN, v + value * TICK);
+                }
+            }
+        }
+        let next = ctx.track_value(TrackId::MAIN) + TICK;
+        ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(0));
+    }
+
+    fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+}
+
+proptest! {
+    #[test]
+    fn cancelled_timers_never_fire_despite_generation_churn(
+        ops in prop::collection::vec((0u8..4, 0.0f64..1.0), 1..48),
+    ) {
+        let horizon = 4.0 * TICK * (ops.len() as f64 + 4.0);
+        let log = Rc::new(RefCell::new(TimerLog::default()));
+        let config = SimConfig {
+            rho: 1e-4,
+            seed: 13,
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(config);
+        b.add_node(Box::new(Scripted {
+            ops,
+            next_op: 0,
+            next_token: 0,
+            pending: Vec::new(),
+            retired: Vec::new(),
+            log: Rc::clone(&log),
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(horizon));
+        let log = log.borrow();
+        for token in &log.fired {
+            prop_assert!(
+                !log.cancelled.contains(token),
+                "cancelled timer {token} fired anyway"
+            );
+        }
+        let mut seen = BTreeSet::new();
+        for token in &log.fired {
+            prop_assert!(
+                seen.insert(*token),
+                "timer {token} fired more than once (stale generation \
+                 entry dispatched)"
+            );
+        }
+        // Stale cancels must not have killed later timers: every token
+        // that was neither cancelled nor still pending at the horizon
+        // fired exactly once. (`seen` already proves "at most once".)
+        let issued: BTreeSet<u64> = (0..log.next_token).collect();
+        for token in issued {
+            prop_assert!(
+                seen.contains(&token)
+                    || log.cancelled.contains(&token)
+                    || log.still_pending.contains(&token),
+                "timer {token} vanished: not fired, not cancelled, not \
+                 pending (a stale cancel killed a reused slot?)"
+            );
+        }
+    }
+}

@@ -60,3 +60,23 @@ impl<S: Strategy> Strategy for &S {
         (*self).generate(rng)
     }
 }
+
+// Tuples of strategies generate tuples of values, mirroring real
+// proptest's tuple support (the subset the workspace's tests use).
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
