@@ -2,13 +2,17 @@
 //! `engine_free_run` (raw substrate message flood) and
 //! `cluster_simulated_second` (full ClusterSync), swept over 1/2/4/8/64
 //! scheduler shards (1 = the global-heap `Scenario` default, 64 = one
-//! shard per cluster, what `Scenario::sharded_by_cluster` selects).
+//! shard per cluster, what `Scenario::sharded_by_cluster` selects),
+//! plus the **parallel executor** on the 64-shard split swept over
+//! 1/2/4/8 worker threads.
 //!
-//! Both schedulers dispatch identical event sequences (pinned by
+//! Every scheduler dispatches the identical event sequence (pinned by
 //! `crates/sim/tests/shard_equivalence.rs`), so any time difference is
-//! pure queue mechanics: per-shard heaps of `m/s` entries versus one
-//! heap of `m`, plus inbox staging that turns pulse fan-out into bulk
-//! merges.
+//! pure queue and executor mechanics: per-shard heaps of `m/s` entries
+//! versus one heap of `m`, inbox staging that turns pulse fan-out into
+//! bulk merges, and — for the parallel groups — how much of each
+//! `d − U` lookahead window the workers can overlap versus barrier
+//! overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftgcs::params::Params;
@@ -65,36 +69,70 @@ fn scheduler_for(shards: usize) -> SchedulerKind {
     }
 }
 
+/// The parallel executor on the finest (one-shard-per-cluster) split.
+fn parallel_for(workers: usize) -> SchedulerKind {
+    SchedulerKind::Parallel {
+        partition: Partition::by_blocks(CLUSTERS * K, K),
+        workers,
+    }
+}
+
+/// One free-run iteration under `scheduler`.
+fn free_run_once(scheduler: SchedulerKind) -> u64 {
+    let cg = cluster_graph();
+    let config = SimConfig {
+        delay: DelayConfig::new(
+            SimDuration::from_millis(1.0),
+            SimDuration::from_micros(100.0),
+            DelayDistribution::Uniform,
+        ),
+        rho: 1e-4,
+        rate_model: RateModel::RandomConstant,
+        seed: 9,
+        sample_interval: Some(SimDuration::from_millis(10.0)),
+        scheduler,
+    };
+    let mut builder = SimBuilder::<BaseMsg>::new(config);
+    for _ in 0..cg.physical().node_count() {
+        builder.add_node(Box::new(Flooder { period: 0.01 }));
+    }
+    for (a, b2) in cg.physical().edges() {
+        builder.add_edge(NodeId(a), NodeId(b2));
+    }
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(1.0));
+    sim.stats().events
+}
+
+/// One full-ClusterSync iteration under `scheduler`.
+fn cluster_second_once(params: &Params, scheduler: SchedulerKind) -> u64 {
+    let mut scenario = Scenario::new(cluster_graph(), params.clone());
+    scenario
+        .seed(3)
+        .max_estimator(false)
+        .sample_interval(None)
+        .scheduler(scheduler);
+    let run = scenario.run_for(1.0);
+    run.stats.events
+}
+
 fn bench_free_run_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("shard_scaling_free_run");
     group.sample_size(10);
     for shards in [1usize, 2, 4, 8, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
-            b.iter(|| {
-                let cg = cluster_graph();
-                let config = SimConfig {
-                    delay: DelayConfig::new(
-                        SimDuration::from_millis(1.0),
-                        SimDuration::from_micros(100.0),
-                        DelayDistribution::Uniform,
-                    ),
-                    rho: 1e-4,
-                    rate_model: RateModel::RandomConstant,
-                    seed: 9,
-                    sample_interval: Some(SimDuration::from_millis(10.0)),
-                    scheduler: scheduler_for(s),
-                };
-                let mut builder = SimBuilder::<BaseMsg>::new(config);
-                for _ in 0..cg.physical().node_count() {
-                    builder.add_node(Box::new(Flooder { period: 0.01 }));
-                }
-                for (a, b2) in cg.physical().edges() {
-                    builder.add_edge(NodeId(a), NodeId(b2));
-                }
-                let mut sim = builder.build();
-                sim.run_until(SimTime::from_secs(1.0));
-                black_box(sim.stats().events)
-            });
+            b.iter(|| black_box(free_run_once(scheduler_for(s))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_free_run_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling_free_run_parallel");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(free_run_once(parallel_for(w))));
         });
     }
     group.finish();
@@ -106,16 +144,19 @@ fn bench_cluster_second_scaling(c: &mut Criterion) {
     let params = Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible");
     for shards in [1usize, 2, 4, 8, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
-            b.iter(|| {
-                let mut scenario = Scenario::new(cluster_graph(), params.clone());
-                scenario
-                    .seed(3)
-                    .max_estimator(false)
-                    .sample_interval(None)
-                    .scheduler(scheduler_for(s));
-                let run = scenario.run_for(1.0);
-                black_box(run.stats.events)
-            });
+            b.iter(|| black_box(cluster_second_once(&params, scheduler_for(s))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_second_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling_cluster_second_parallel");
+    group.sample_size(10);
+    let params = Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible");
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(cluster_second_once(&params, parallel_for(w))));
         });
     }
     group.finish();
@@ -124,6 +165,8 @@ fn bench_cluster_second_scaling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_free_run_scaling,
-    bench_cluster_second_scaling
+    bench_free_run_parallel,
+    bench_cluster_second_scaling,
+    bench_cluster_second_parallel
 );
 criterion_main!(benches);

@@ -22,7 +22,7 @@
 //! `T + Δ_v(r)` while keeping the clock rate within
 //! `[1, ϑ_max]` (Lemma B.4).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ftgcs_sim::engine::Ctx;
 use ftgcs_sim::node::{NodeId, TimerTag, TrackId};
@@ -124,7 +124,7 @@ pub struct ClusterInstance {
     observed: Vec<NodeId>,
     /// True for estimator instances (no real broadcast).
     silent: bool,
-    params: Rc<Params>,
+    params: Arc<Params>,
     /// Current round, 1-indexed.
     round: u64,
     phase: Phase,
@@ -164,7 +164,7 @@ impl ClusterInstance {
         cluster_id: usize,
         observed: Vec<NodeId>,
         silent: bool,
-        params: Rc<Params>,
+        params: Arc<Params>,
     ) -> Self {
         // Correct nodes always observe full clusters of k >= 3f+1 members;
         // Byzantine self-trackers observe their own cluster minus
@@ -343,7 +343,7 @@ impl ClusterInstance {
 
     /// End of phase 2 (Algorithm 1, lines 7–13).
     fn compute_correction(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let p = Rc::clone(&self.params);
+        let p = Arc::clone(&self.params);
         // The reference entry t_vv: own loopback (active) or virtual
         // (silent) receipt.
         let own = if self.silent {
@@ -442,7 +442,7 @@ mod tests {
     use ftgcs_sim::network::{DelayConfig, DelayDistribution};
     use ftgcs_sim::node::Behavior;
     use ftgcs_sim::time::{SimDuration, SimTime};
-    use std::cell::RefCell;
+    use std::sync::Mutex;
 
     /// Shared observation window for the harness.
     #[derive(Debug, Default)]
@@ -458,7 +458,7 @@ mod tests {
     /// *improper* execution (the clock starts several rounds ahead).
     struct Harness {
         inst: ClusterInstance,
-        probe: Rc<RefCell<Probe>>,
+        probe: Arc<Mutex<Probe>>,
         initial_jump: f64,
     }
 
@@ -479,13 +479,13 @@ mod tests {
         fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: TimerTag) {
             if tag.kind == TIMER_COMPUTE {
                 self.inst.on_timer(ctx, tag);
-                let mut probe = self.probe.borrow_mut();
+                let mut probe = self.probe.lock().unwrap();
                 probe.deltas.push(self.inst.last_delta());
                 probe.stats = self.inst.stats();
                 return;
             }
             if let InstanceEvent::RoundEnded { new_round } = self.inst.on_timer(ctx, tag) {
-                self.probe.borrow_mut().rounds.push(new_round);
+                self.probe.lock().unwrap().rounds.push(new_round);
             }
         }
     }
@@ -508,8 +508,8 @@ mod tests {
         }
     }
 
-    fn params() -> Rc<Params> {
-        Rc::new(Params::practical(1e-4, 1e-3, 1e-4, 0).unwrap())
+    fn params() -> Arc<Params> {
+        Arc::new(Params::practical(1e-4, 1e-3, 1e-4, 0).unwrap())
     }
 
     /// A drift-free, exact-delay world: every message takes exactly `d`.
@@ -536,16 +536,16 @@ mod tests {
     /// pulser (slot 1), both observed by the instance under test. With
     /// f = 0 nothing is trimmed, so `Δ = τ_pulser / 2` exactly
     /// (Algorithm 1 line 12 on the two-entry multiset {0, τ}).
-    fn run_with_pulses(pulse_times: Vec<f64>, horizon: f64) -> (Rc<RefCell<Probe>>, Rc<Params>) {
+    fn run_with_pulses(pulse_times: Vec<f64>, horizon: f64) -> (Arc<Mutex<Probe>>, Arc<Params>) {
         run_with_pulses_in(params(), pulse_times, horizon)
     }
 
     fn run_with_pulses_in(
-        p: Rc<Params>,
+        p: Arc<Params>,
         pulse_times: Vec<f64>,
         horizon: f64,
-    ) -> (Rc<RefCell<Probe>>, Rc<Params>) {
-        let probe = Rc::new(RefCell::new(Probe::default()));
+    ) -> (Arc<Mutex<Probe>>, Arc<Params>) {
+        let probe = Arc::new(Mutex::new(Probe::default()));
         let mut b = SimBuilder::new(config_for(p.d));
         let inst = ClusterInstance::new(
             0,
@@ -553,11 +553,11 @@ mod tests {
             0,
             vec![NodeId(0), NodeId(1)],
             false,
-            Rc::clone(&p),
+            Arc::clone(&p),
         );
         let h = b.add_node(Box::new(Harness {
             inst,
-            probe: Rc::clone(&probe),
+            probe: Arc::clone(&probe),
             initial_jump: 0.0,
         }));
         let s = b.add_node(Box::new(ScriptedPulser { at: pulse_times }));
@@ -581,17 +581,18 @@ mod tests {
         // every round takes exactly T/(1+ϕ) Newtonian seconds
         // (Lemma B.6 + Lemma 3.1 with Δ = 0).
         let p = params();
-        let probe = Rc::new(RefCell::new(Probe::default()));
+        let probe = Arc::new(Mutex::new(Probe::default()));
         let mut b = SimBuilder::new(config());
-        let inst = ClusterInstance::new(0, TrackId::MAIN, 0, vec![NodeId(0)], false, Rc::clone(&p));
+        let inst =
+            ClusterInstance::new(0, TrackId::MAIN, 0, vec![NodeId(0)], false, Arc::clone(&p));
         b.add_node(Box::new(Harness {
             inst,
-            probe: Rc::clone(&probe),
+            probe: Arc::clone(&probe),
             initial_jump: 0.0,
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(3.5 * p.t_round));
-        let probe = probe.borrow();
+        let probe = probe.lock().unwrap();
         assert!(probe.rounds.len() >= 3, "rounds seen: {:?}", probe.rounds);
         assert_eq!(probe.rounds[0], 2);
         assert_eq!(probe.rounds[1], 3);
@@ -611,7 +612,7 @@ mod tests {
         let x = 0.5 * p.e;
         let t0 = harness_pulse_time(&p) + x / (1.0 + p.phi);
         let (probe, _) = run_with_pulses(vec![t0], 0.9 * p.t_round);
-        let probe = probe.borrow();
+        let probe = probe.lock().unwrap();
         assert_eq!(probe.deltas.len(), 1);
         // Two-entry multiset {0, x}, f = 0: Δ = (0 + x)/2.
         let expect = x / 2.0;
@@ -631,7 +632,7 @@ mod tests {
         // Same round window, two pulses: second is a duplicate and the
         // correction must use the first.
         let (probe, _) = run_with_pulses(vec![t0, t0 + 2e-4], 0.9 * p.t_round);
-        let probe = probe.borrow();
+        let probe = probe.lock().unwrap();
         assert_eq!(probe.stats.duplicate_pulses, 1);
         assert!((probe.deltas[0] - x / 2.0).abs() < 1e-12);
     }
@@ -645,7 +646,7 @@ mod tests {
         // duplicate when the pulser also fires in round 2's window.
         let amortize_t = (p.tau1 + p.tau2) / (1.0 + p.phi) + 0.1 * p.tau3;
         let (probe, _) = run_with_pulses(vec![amortize_t], 1.9 * p.t_round);
-        let probe = probe.borrow();
+        let probe = probe.lock().unwrap();
         assert_eq!(probe.stats.duplicate_pulses, 0);
         assert_eq!(probe.deltas.len(), 2, "two rounds computed");
         // Round 2's correction uses the early pulse: it arrived well
@@ -662,7 +663,7 @@ mod tests {
         // negative offsets — and check the defensive clamp caps every
         // correction at ϕ·τ₃ and counts the events.
         let p = params();
-        let probe = Rc::new(RefCell::new(Probe::default()));
+        let probe = Arc::new(Mutex::new(Probe::default()));
         let mut b = SimBuilder::new(config());
         let inst = ClusterInstance::new(
             0,
@@ -670,11 +671,11 @@ mod tests {
             0,
             vec![NodeId(0), NodeId(1)],
             false,
-            Rc::clone(&p),
+            Arc::clone(&p),
         );
         let h = b.add_node(Box::new(Harness {
             inst,
-            probe: Rc::clone(&probe),
+            probe: Arc::clone(&probe),
             initial_jump: 2.5 * p.t_round,
         }));
         // The peer pulses on the *honest* schedule, once per round.
@@ -685,7 +686,7 @@ mod tests {
         b.add_edge(h, s);
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(4.0 * p.t_round));
-        let probe = probe.borrow();
+        let probe = probe.lock().unwrap();
         let limit = p.phi * p.tau3;
         assert!(
             probe.stats.clamped_corrections >= 1,
@@ -704,8 +705,8 @@ mod tests {
     fn missing_peer_pulse_is_trimmed_within_budget() {
         // With f = 1 and k = 4, a silent member's missing entry becomes
         // +inf and is trimmed: Δ stays 0 when the others are punctual.
-        let p = Rc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap());
-        let probe = Rc::new(RefCell::new(Probe::default()));
+        let p = Arc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap());
+        let probe = Arc::new(Mutex::new(Probe::default()));
         let mut b = SimBuilder::new(config());
         let inst = ClusterInstance::new(
             0,
@@ -713,11 +714,11 @@ mod tests {
             0,
             vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
             false,
-            Rc::clone(&p),
+            Arc::clone(&p),
         );
         let h = b.add_node(Box::new(Harness {
             inst,
-            probe: Rc::clone(&probe),
+            probe: Arc::clone(&probe),
             initial_jump: 0.0,
         }));
         let t_p = p.tau1 / (1.0 + p.phi);
@@ -730,7 +731,7 @@ mod tests {
         b.add_edge(h, silent);
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(0.9 * p.t_round));
-        let probe = probe.borrow();
+        let probe = probe.lock().unwrap();
         assert_eq!(probe.deltas.len(), 1);
         assert!(probe.deltas[0].abs() < 1e-12, "delta {}", probe.deltas[0]);
         assert_eq!(probe.stats.overfull_missing, 0);
@@ -740,7 +741,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn undersized_observation_set_rejected() {
-        let p = Rc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap());
+        let p = Arc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap());
         let _ = ClusterInstance::new(0, TrackId::MAIN, 0, vec![NodeId(0)], false, p);
     }
 

@@ -20,7 +20,7 @@
 //! [`ClusterInstance`] — the same estimator machinery correct neighbors
 //! use — and then time their lies relative to that estimate.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ftgcs_sim::engine::Ctx;
 use ftgcs_sim::node::{Behavior, NodeId, TimerTag, TrackId};
@@ -91,10 +91,10 @@ pub fn make_fault_behavior(kind: &FaultKind, cfg: NodeConfig) -> Box<dyn Behavio
         FaultKind::TwoFaced { amplitude } => Box::new(TwoFacedPulser::new(cfg, *amplitude)),
         FaultKind::SkewPuller { offset } => Box::new(SkewPuller::new(cfg, *offset)),
         FaultKind::StealthyRusher { extra_rate } => {
-            Box::new(StealthyRusher::new(Rc::clone(&cfg.params), *extra_rate))
+            Box::new(StealthyRusher::new(Arc::clone(&cfg.params), *extra_rate))
         }
         FaultKind::LevelFlooder { level_step } => {
-            Box::new(LevelFlooder::new(Rc::clone(&cfg.params), *level_step))
+            Box::new(LevelFlooder::new(Arc::clone(&cfg.params), *level_step))
         }
     }
 }
@@ -198,7 +198,7 @@ impl Behavior<Msg> for RandomPulser {
 #[derive(Debug)]
 struct ClusterFollower {
     tracker: Option<ClusterInstance>,
-    params: Rc<Params>,
+    params: Arc<Params>,
     cluster_id: usize,
     /// Own-cluster members excluding this node.
     peers: Vec<NodeId>,
@@ -209,7 +209,7 @@ impl ClusterFollower {
         debug_assert!(me_excluded_later);
         ClusterFollower {
             tracker: None,
-            params: Rc::clone(&cfg.params),
+            params: Arc::clone(&cfg.params),
             cluster_id: cfg.cluster_id,
             peers: cfg.members.clone(),
         }
@@ -225,7 +225,7 @@ impl ClusterFollower {
             self.cluster_id,
             self.peers.clone(),
             true,
-            Rc::clone(&self.params),
+            Arc::clone(&self.params),
         );
         tracker.start(ctx);
         self.tracker = Some(tracker);
@@ -381,7 +381,7 @@ impl Behavior<Msg> for SkewPuller {
 /// Free-runs the pulse schedule at an illegally fast rate.
 #[derive(Debug)]
 pub struct StealthyRusher {
-    params: Rc<Params>,
+    params: Arc<Params>,
     extra_rate: f64,
     round: u64,
 }
@@ -390,7 +390,7 @@ impl StealthyRusher {
     /// Creates the attacker with the given extra rate beyond
     /// `(1+ϕ)(1+µ)`.
     #[must_use]
-    pub fn new(params: Rc<Params>, extra_rate: f64) -> Self {
+    pub fn new(params: Arc<Params>, extra_rate: f64) -> Self {
         StealthyRusher {
             params,
             extra_rate,
@@ -426,7 +426,7 @@ impl Behavior<Msg> for StealthyRusher {
 /// Broadcasts inflated max-estimator levels every round.
 #[derive(Debug)]
 pub struct LevelFlooder {
-    params: Rc<Params>,
+    params: Arc<Params>,
     level_step: u64,
     current: u64,
 }
@@ -434,7 +434,7 @@ pub struct LevelFlooder {
 impl LevelFlooder {
     /// Creates the attacker announcing `level_step` extra levels per round.
     #[must_use]
-    pub fn new(params: Rc<Params>, level_step: u64) -> Self {
+    pub fn new(params: Arc<Params>, level_step: u64) -> Self {
         LevelFlooder {
             params,
             level_step,
@@ -468,7 +468,7 @@ mod tests {
 
     fn config() -> NodeConfig {
         NodeConfig {
-            params: Rc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap()),
+            params: Arc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap()),
             cluster_id: 0,
             members: (0..4).map(NodeId).collect(),
             neighbors: vec![],

@@ -188,8 +188,8 @@ mod tests {
     use ftgcs_sim::network::{DelayConfig, DelayDistribution};
     use ftgcs_sim::node::Behavior;
     use ftgcs_sim::time::{SimDuration, SimTime};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     #[test]
     #[should_panic(expected = "at least d-U")]
@@ -217,7 +217,7 @@ mod tests {
     /// records the value after each report.
     struct LevelHarness {
         script: Vec<(NodeId, u64)>,
-        values: Rc<RefCell<Vec<f64>>>,
+        values: Arc<Mutex<Vec<f64>>>,
     }
 
     impl Behavior<Msg> for LevelHarness {
@@ -227,7 +227,7 @@ mod tests {
             let mut est = MaxEstimator::new(track, UNIT, MIN_DELAY, 1, vec![members]);
             for &(from, level) in &self.script {
                 est.on_level(ctx, from, level);
-                self.values.borrow_mut().push(est.value(ctx));
+                self.values.lock().unwrap().push(est.value(ctx));
             }
         }
         fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
@@ -235,7 +235,7 @@ mod tests {
     }
 
     fn run_script(script: Vec<(NodeId, u64)>) -> Vec<f64> {
-        let values = Rc::new(RefCell::new(Vec::new()));
+        let values = Arc::new(Mutex::new(Vec::new()));
         let config = SimConfig {
             delay: DelayConfig::new(
                 SimDuration::from_millis(1.0),
@@ -251,11 +251,11 @@ mod tests {
         let mut b = SimBuilder::new(config);
         b.add_node(Box::new(LevelHarness {
             script,
-            values: Rc::clone(&values),
+            values: Arc::clone(&values),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::ZERO);
-        let out = values.borrow().clone();
+        let out = values.lock().unwrap().clone();
         drop(sim);
         out
     }

@@ -16,7 +16,7 @@
 //! cluster layer treats `(1+µγ_v)h_v` as its hardware clock, and the GCS
 //! layer sees only clock-difference estimates.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ftgcs_sim::engine::Ctx;
 use ftgcs_sim::node::{Behavior, NodeId, TimerTag, TrackId};
@@ -36,7 +36,7 @@ pub const ROW_MODE: &str = "mode";
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
     /// Shared algorithm parameters.
-    pub params: Rc<Params>,
+    pub params: Arc<Params>,
     /// Base-graph id of this node's cluster.
     pub cluster_id: usize,
     /// Members of this node's cluster (including the node itself), in slot
@@ -92,7 +92,7 @@ impl FtGcsNode {
             cfg.cluster_id,
             cfg.members.clone(),
             false,
-            Rc::clone(&cfg.params),
+            Arc::clone(&cfg.params),
         );
         FtGcsNode {
             own,
@@ -210,7 +210,7 @@ impl Behavior<Msg> for FtGcsNode {
                 *cluster_id,
                 members.clone(),
                 true,
-                Rc::clone(&self.cfg.params),
+                Arc::clone(&self.cfg.params),
             );
             inst.start(ctx);
             self.estimators.push(inst);
@@ -275,8 +275,8 @@ impl Behavior<Msg> for FtGcsNode {
 mod tests {
     use super::*;
 
-    fn params() -> Rc<Params> {
-        Rc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap())
+    fn params() -> Arc<Params> {
+        Arc::new(Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap())
     }
 
     fn config() -> NodeConfig {

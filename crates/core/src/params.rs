@@ -167,11 +167,14 @@ impl Params {
     /// that is globally earliest can advance this far before other
     /// shards could affect it.
     ///
-    /// This is a *descriptive* quantity for analysis and reporting: the
+    /// For the single-threaded schedulers this is *descriptive*: the
     /// sharded queue ([`ftgcs_sim::shard`]) derives its horizon from
     /// actual queued event keys, so the floor is enforced by the delay
-    /// model itself, never consumed as a scheduler input. A larger
-    /// floor simply yields longer uninterrupted per-shard runs.
+    /// model itself. The **parallel** executor
+    /// ([`crate::runner::Scenario::parallel`]) consumes it directly as
+    /// the width of its inter-barrier windows — a larger floor means
+    /// fewer barriers and longer uninterrupted per-shard runs, so this
+    /// is the knob that decides how well parallel sharding scales.
     #[must_use]
     pub fn lookahead(&self) -> f64 {
         self.d - self.u

@@ -7,7 +7,7 @@
 //! and returns either a ready [`Simulation`] or a completed
 //! [`ScenarioRun`] with the recorded trace.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ftgcs_sim::clock::RateModel;
 use ftgcs_sim::engine::{SimBuilder, SimConfig, SimStats, Simulation};
@@ -45,7 +45,7 @@ use crate::triggers::ModePolicy;
 #[derive(Debug)]
 pub struct Scenario {
     cg: ClusterGraph,
-    params: Rc<Params>,
+    params: Arc<Params>,
     seed: u64,
     delay_distribution: DelayDistribution,
     rate_model: RateModel,
@@ -84,7 +84,7 @@ impl Scenario {
         let cluster_count = cg.cluster_count();
         Scenario {
             cg,
-            params: Rc::new(params),
+            params: Arc::new(params),
             seed: 0,
             delay_distribution: DelayDistribution::Uniform,
             rate_model: RateModel::RandomWalk {
@@ -152,12 +152,12 @@ impl Scenario {
 
     /// Sets the event scheduler. The default is [`SchedulerKind::Global`]
     /// — under the engine's strict equal-order guarantee the sharded
-    /// queue is ~5–10% slower single-threaded (see EXPERIMENTS.md), so
-    /// the global heap stays the default until the parallel shard
-    /// executor lands (ROADMAP). Scheduling never changes a run's
-    /// trace — `tests/scheduler_equivalence.rs` pins the global and
-    /// sharded engines to byte-identical output — so this is a
-    /// throughput knob and an A/B handle for benches.
+    /// queue is ~5–10% slower single-threaded (see EXPERIMENTS.md);
+    /// [`Scenario::parallel`] is what makes sharding pay. Scheduling
+    /// never changes a run's trace — `tests/scheduler_equivalence.rs`
+    /// pins every scheduler (including the parallel one on any worker
+    /// count) to byte-identical output — so this is a throughput knob
+    /// and an A/B handle for benches.
     pub fn scheduler(&mut self, kind: SchedulerKind) -> &mut Self {
         self.scheduler = kind;
         self
@@ -169,6 +169,23 @@ impl Scenario {
     pub fn sharded_by_cluster(&mut self) -> &mut Self {
         let partition = cluster_partition(&self.cg);
         self.scheduler(SchedulerKind::Sharded(partition))
+    }
+
+    /// Selects the **parallel** shard executor: one shard per cluster
+    /// ([`cluster_partition`]), advanced on `workers` threads between
+    /// `d − U` lookahead barriers ([`Params::lookahead`] is the window
+    /// width). The `FTGCS_WORKERS` environment variable, when set, pins
+    /// the exact thread count and overrides this argument (that is how
+    /// CI exercises pinned counts); otherwise `workers` is used —
+    /// `0` meaning the machine's available parallelism — capped at
+    /// both the core count and the cluster count.
+    ///
+    /// The merged trace is byte-identical to every other scheduler on
+    /// every worker count; see `crates/sim/src/par.rs` for the
+    /// conservative-window argument.
+    pub fn parallel(&mut self, workers: usize) -> &mut Self {
+        let partition = cluster_partition(&self.cg);
+        self.scheduler(SchedulerKind::Parallel { partition, workers })
     }
 
     /// Enables or disables the global-max estimator.
@@ -291,7 +308,7 @@ impl Scenario {
             .map(|&b| self.cluster_offsets[b])
             .collect();
         NodeConfig {
-            params: Rc::clone(&self.params),
+            params: Arc::clone(&self.params),
             cluster_id: cluster,
             members,
             neighbors,
@@ -437,6 +454,26 @@ mod tests {
         assert!(!run.trace.samples.is_empty());
         assert!(run.trace.rows_of_kind(crate::cluster::ROW_PULSE).count() > 0);
         assert!(run.stats.messages > 0);
+    }
+
+    #[test]
+    fn parallel_override_reproduces_the_default_run() {
+        // The parallel executor must agree with the default global heap
+        // event-for-event on any worker count; the full byte-level
+        // differential lives in tests/scheduler_equivalence.rs.
+        let mut a = scenario();
+        a.seed(11);
+        let ra = a.run_for(0.5);
+        for workers in [1usize, 2, 0] {
+            let mut b = scenario();
+            b.seed(11).parallel(workers);
+            let rb = b.run_for(0.5);
+            assert_eq!(ra.stats, rb.stats, "workers = {workers}");
+            assert!(
+                ra.trace.byte_identical(&rb.trace),
+                "parallel scheduler diverged at {workers} workers"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Full-stack scheduler differential: a complete FTGCS scenario —
 //! cluster sync, estimators, triggers, Byzantine faults — produces
-//! **byte-identical** traces whether the engine runs one global heap or
-//! one shard per cluster.
+//! **byte-identical** traces whether the engine runs one global heap,
+//! one shard per cluster, or the parallel executor on any worker
+//! count.
 //!
 //! The substrate-level matrix lives in
 //! `crates/sim/tests/shard_equivalence.rs`; this test adds the layers
@@ -45,6 +46,37 @@ fn sharded_by_cluster_matches_global_heap_byte_for_byte() {
                 sharded.trace.to_bytes(),
                 global.trace.to_bytes(),
                 "scheduler changed a full-stack run (seed {seed}, faulty {faulty})"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_executor_matches_global_heap_byte_for_byte() {
+    // The Byzantine axis matters: fault behaviors read Newtonian time
+    // and drive the per-node RNG differently from correct nodes, so
+    // they exercise every determinism ingredient of the parallel
+    // executor at full stack depth.
+    for faulty in [false, true] {
+        let mut g = scenario(23, faulty);
+        g.scheduler(SchedulerKind::Global);
+        let global = g.run_for(10.0);
+        assert!(
+            !global.trace.samples.is_empty() && !global.trace.rows.is_empty(),
+            "trace must be non-trivial"
+        );
+        for workers in [1usize, 2, 4, 0] {
+            let mut s = scenario(23, faulty);
+            s.parallel(workers);
+            let parallel = s.run_for(10.0);
+            assert_eq!(
+                parallel.stats, global.stats,
+                "faulty {faulty}, workers {workers}: work counters diverged"
+            );
+            assert!(
+                parallel.trace.byte_identical(&global.trace),
+                "parallel run diverged from the global heap \
+                 (faulty {faulty}, workers {workers})"
             );
         }
     }

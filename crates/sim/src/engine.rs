@@ -11,18 +11,31 @@
 //!
 //! Changing a multiplier (or jumping a track) re-anchors the track and
 //! transparently reschedules every pending timer on it; stale heap entries
-//! are skipped via generation counters. Event storage is delegated to a
-//! [`ShardQueue`]: one heap per [`shard`](crate::shard) of the network,
-//! advanced under conservative lookahead, with the classic single global
-//! heap as the 1-shard degenerate case ([`SchedulerKind::Global`]). Both
-//! schedulers dispatch the identical global event order, so they produce
-//! byte-identical traces.
+//! are skipped via generation counters. All mutable per-node state —
+//! clocks, tracks, timer slots, RNG streams — lives in one [`NodeState`]
+//! per node, which is what lets [`SchedulerKind::Parallel`] hand disjoint
+//! node sets to worker threads (see [`crate::par`]).
+//!
+//! Event storage is delegated to a [`ShardQueue`]: one heap per
+//! [`shard`](crate::shard) of the network, advanced under conservative
+//! lookahead, with the classic single global heap as the 1-shard
+//! degenerate case ([`SchedulerKind::Global`]). Every scheduler —
+//! including the parallel one, on any worker count — dispatches the
+//! identical global event order, so they all produce byte-identical
+//! traces. The order is `(time, source, per-source counter)`: each node
+//! stamps the events it creates with its own monotone counter, which is a
+//! deterministic function of the node's observed event sequence and
+//! therefore independent of how shards raced across threads.
 
 use crate::clock::{HardwareClock, RateModel};
 use crate::network::{DelayConfig, DelayDistribution};
 use crate::node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
+use crate::par::ParQueue;
 use crate::rng::SimRng;
-use crate::shard::{Partition, SchedulerKind, ShardQueue};
+use crate::shard::{
+    resolve_workers, tie_for_engine, tie_for_node, Entry, Key, Partition, SchedulerKind, Shard,
+    ShardQueue,
+};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ClockSample, Row, Trace};
 
@@ -39,9 +52,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// If set, record a [`ClockSample`] every interval of Newtonian time.
     pub sample_interval: Option<SimDuration>,
-    /// Event scheduler: one global heap, or per-shard heaps under
-    /// conservative lookahead. Never changes a run's result — only its
-    /// throughput.
+    /// Event scheduler: one global heap, per-shard heaps under
+    /// conservative lookahead, or the same shards on a worker-thread
+    /// pool. Never changes a run's result — only its throughput.
     pub scheduler: SchedulerKind,
 }
 
@@ -77,7 +90,6 @@ impl Track {
 
 #[derive(Debug, Clone, Copy)]
 struct TimerSlot {
-    node: NodeId,
     track: TrackId,
     target: f64,
     tag: TimerTag,
@@ -96,11 +108,43 @@ struct TimerSlot {
     list_pos: usize,
 }
 
+/// A queued occurrence. Timers and messages are owned by one node and
+/// dispatch on its shard; samples are engine-global and are handled by
+/// the (serial) engine loop, never by a worker.
 #[derive(Debug)]
-enum Pending<M> {
-    Timer { id: usize, generation: u32 },
-    Message { from: NodeId, to: NodeId, msg: M },
+pub(crate) enum Pending<M> {
+    /// A timer of `node`'s slab firing.
+    Timer {
+        /// Owning node (whose slab `id` indexes).
+        node: NodeId,
+        /// Slot index in the owner's slab.
+        id: usize,
+        /// Schedule generation; stale entries are skipped.
+        generation: u32,
+    },
+    /// A message delivery.
+    Message {
+        /// Sender.
+        from: NodeId,
+        /// Receiver (owns the event).
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// A periodic engine-global clock sample.
     Sample,
+}
+
+impl<M> Pending<M> {
+    /// The node whose shard dispatches this event (samples are
+    /// engine-global and have no owner).
+    pub(crate) fn owner(&self) -> Option<NodeId> {
+        match *self {
+            Pending::Timer { node, .. } => Some(node),
+            Pending::Message { to, .. } => Some(to),
+            Pending::Sample => None,
+        }
+    }
 }
 
 /// Counters describing how much work a run performed.
@@ -114,109 +158,64 @@ pub struct SimStats {
     pub timers: u64,
 }
 
-/// Everything the engine owns except the behaviors (split so behaviors can
-/// be called with a mutable view of the rest).
-struct SimState<M> {
-    now: SimTime,
-    config: SimConfig,
-    adjacency: Vec<Vec<NodeId>>,
-    clocks: Vec<HardwareClock>,
-    tracks: Vec<Vec<Track>>,
-    /// node → track → pending timer ids.
-    track_timers: Vec<Vec<Vec<usize>>>,
-    timer_slots: Vec<TimerSlot>,
-    timer_free: Vec<usize>,
-    queue: ShardQueue<Pending<M>>,
-    delay_rng: SimRng,
-    node_rngs: Vec<SimRng>,
-    trace: Trace,
-    stats: SimStats,
+impl SimStats {
+    /// Accumulates another stats block (used to merge per-worker
+    /// counters).
+    pub(crate) fn absorb(&mut self, other: SimStats) {
+        self.events += other.events;
+        self.messages += other.messages;
+        self.timers += other.timers;
+    }
 }
 
-impl<M: Clone> SimState<M> {
-    /// Schedules the next periodic sample. Samples are engine-global
-    /// events; they ride on shard 0 and dispatch in global order like
-    /// everything else.
-    fn push_sample(&mut self, time: SimTime) {
-        self.queue.push_unowned(time, Pending::Sample);
+/// All mutable state owned by one node: its clock, tracks, timer slab,
+/// and RNG streams. Behaviors only ever touch their own `NodeState`
+/// (via [`Ctx`]), which is the disjointness the parallel executor
+/// exploits.
+pub(crate) struct NodeState {
+    clock: HardwareClock,
+    tracks: Vec<Track>,
+    /// track → pending timer ids.
+    track_timers: Vec<Vec<usize>>,
+    timer_slots: Vec<TimerSlot>,
+    timer_free: Vec<usize>,
+    rng: SimRng,
+    /// Per-node message-delay stream. Keeping the stream per *sender*
+    /// (instead of one engine-global stream) makes the sampled delays a
+    /// pure function of the sender's own event sequence — required for
+    /// the parallel executor to reproduce the serial engine exactly.
+    delay_rng: SimRng,
+    /// Monotone counter stamping every event this node creates; the
+    /// deterministic tie-break of the global dispatch order.
+    key_counter: u64,
+}
+
+impl NodeState {
+    fn hardware_now(&mut self, now: SimTime) -> f64 {
+        self.clock.hardware_time(now)
     }
 
-    fn hardware_now(&mut self, node: NodeId) -> f64 {
-        let now = self.now;
-        self.clocks[node.index()].hardware_time(now)
+    fn track_value(&mut self, track: TrackId, now: SimTime) -> f64 {
+        let hw = self.hardware_now(now);
+        self.tracks[track.index()].value_at(hw)
     }
 
-    fn track_value(&mut self, node: NodeId, track: TrackId) -> f64 {
-        let hw = self.hardware_now(node);
-        self.tracks[node.index()][track.index()].value_at(hw)
-    }
-
-    /// Newtonian time at which `track` of `node` reaches `target`; never
-    /// earlier than `now`.
-    fn when_track_reaches(&mut self, node: NodeId, track: TrackId, target: f64) -> SimTime {
-        let tr = self.tracks[node.index()][track.index()];
+    /// Newtonian time at which `track` reaches `target`; never earlier
+    /// than `now`.
+    fn when_track_reaches(&mut self, track: TrackId, target: f64, now: SimTime) -> SimTime {
+        let tr = self.tracks[track.index()];
         let hw_target = tr.hw_anchor + (target - tr.value_anchor) / tr.multiplier;
-        let hw_now = self.hardware_now(node);
+        let hw_now = self.hardware_now(now);
         if hw_target <= hw_now {
-            return self.now;
+            return now;
         }
-        self.clocks[node.index()].when_hardware_reaches(hw_target)
+        self.clock.when_hardware_reaches(hw_target)
     }
 
-    fn schedule_timer_entry(&mut self, id: usize) {
-        let slot = self.timer_slots[id];
-        let time = self.when_track_reaches(slot.node, slot.track, slot.target);
-        self.queue.push_for(
-            slot.node,
-            time,
-            Pending::Timer {
-                id,
-                generation: slot.generation,
-            },
-        );
-    }
-
-    fn set_timer_at(
-        &mut self,
-        node: NodeId,
-        track: TrackId,
-        target: f64,
-        tag: TimerTag,
-    ) -> TimerId {
-        assert!(
-            track.index() < self.tracks[node.index()].len(),
-            "unknown track {track:?} on {node}"
-        );
-        let list_pos = self.track_timers[node.index()][track.index()].len();
-        let slot = TimerSlot {
-            node,
-            track,
-            target,
-            tag,
-            generation: 0,
-            epoch: 0,
-            active: true,
-            list_pos,
-        };
-        let id = if let Some(id) = self.timer_free.pop() {
-            let generation = self.timer_slots[id].generation.wrapping_add(1);
-            let epoch = self.timer_slots[id].epoch.wrapping_add(1);
-            self.timer_slots[id] = TimerSlot {
-                generation,
-                epoch,
-                ..slot
-            };
-            id
-        } else {
-            self.timer_slots.push(slot);
-            self.timer_slots.len() - 1
-        };
-        self.track_timers[node.index()][track.index()].push(id);
-        self.schedule_timer_entry(id);
-        TimerId {
-            id,
-            epoch: self.timer_slots[id].epoch,
-        }
+    fn next_tie(&mut self, node: NodeId) -> u128 {
+        let c = self.key_counter;
+        self.key_counter += 1;
+        tie_for_node(node, c)
     }
 
     /// Unlinks a retired timer id from its track list in O(1) via the
@@ -224,7 +223,7 @@ impl<M: Clone> SimState<M> {
     /// into its place.
     fn unlink_timer(&mut self, id: usize) {
         let slot = self.timer_slots[id];
-        let list = &mut self.track_timers[slot.node.index()][slot.track.index()];
+        let list = &mut self.track_timers[slot.track.index()];
         let pos = slot.list_pos;
         debug_assert_eq!(list[pos], id, "timer back-pointer out of sync");
         list.swap_remove(pos);
@@ -256,75 +255,106 @@ impl<M: Clone> SimState<M> {
         self.unlink_timer(id);
         self.timer_free.push(id);
     }
+}
 
-    /// Re-anchors a track at the current instant with a new multiplier and
-    /// (optionally) a new value, rescheduling its pending timers.
-    ///
-    /// This is the hottest control-path operation (once per node per round
-    /// phase): it must not allocate. Rescheduling bumps each pending
-    /// timer's generation — the stale heap entries are skipped on pop —
-    /// and iterates the live-timer list in place by index.
-    fn reanchor(&mut self, node: NodeId, track: TrackId, new_value: Option<f64>, new_mult: f64) {
-        assert!(new_mult > 0.0, "track multipliers must be positive");
-        let hw = self.hardware_now(node);
-        let tr = &mut self.tracks[node.index()][track.index()];
-        let value = new_value.unwrap_or_else(|| tr.value_at(hw));
-        *tr = Track {
-            hw_anchor: hw,
-            value_anchor: value,
-            multiplier: new_mult,
-        };
-        let count = self.track_timers[node.index()][track.index()].len();
-        for i in 0..count {
-            let id = self.track_timers[node.index()][track.index()][i];
-            self.timer_slots[id].generation = self.timer_slots[id].generation.wrapping_add(1);
-            self.schedule_timer_entry(id);
+impl std::fmt::Debug for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NodeState(tracks={}, timers={})",
+            self.tracks.len(),
+            self.timer_slots.len() - self.timer_free.len()
+        )
+    }
+}
+
+/// One node: its state plus its behavior (taken out while a callback
+/// runs so the behavior can receive `&mut self` alongside a context).
+pub(crate) struct NodeCell<M> {
+    pub(crate) state: NodeState,
+    pub(crate) behavior: Option<Box<dyn Behavior<M>>>,
+}
+
+/// Engine data shared read-only by every dispatch (worker or serial):
+/// the configuration and the communication graph. Mutated only between
+/// [`Simulation::run_until`] calls.
+pub(crate) struct SimShared {
+    pub(crate) config: SimConfig,
+    pub(crate) adjacency: Vec<Vec<NodeId>>,
+}
+
+/// Where a dispatch pushes the events it creates.
+pub(crate) enum QueueKind<'a, M> {
+    /// The single-threaded engines: one [`ShardQueue`] in global
+    /// `(time, tie)` pop order.
+    Serial(&'a mut ShardQueue<Pending<M>>),
+    /// The parallel store outside any window (`on_start`, i.e. the boot
+    /// phase, runs serially).
+    Boot(&'a mut ParQueue<M>),
+    /// A worker advancing one shard inside a lookahead window: local
+    /// events go straight into the owned shard, cross-shard events into
+    /// the worker's per-destination outbox (flushed once per window).
+    Worker {
+        /// The shard currently being advanced.
+        local: &'a mut Shard<Pending<M>>,
+        /// Per-destination-shard batches of cross-shard sends.
+        outbox: &'a mut [Vec<Entry<Pending<M>>>],
+        /// Node → shard map.
+        shard_of: &'a [u32],
+        /// Index of `local` among the shards.
+        my_shard: u32,
+    },
+}
+
+impl<M> QueueKind<'_, M> {
+    fn push(&mut self, dst: NodeId, time: SimTime, tie: u128, payload: Pending<M>, staged: bool) {
+        match self {
+            QueueKind::Serial(q) => {
+                if staged {
+                    q.stage_for_keyed(dst, time, tie, payload);
+                } else {
+                    q.push_for_keyed(dst, time, tie, payload);
+                }
+            }
+            QueueKind::Boot(pq) => pq.push(dst, time, tie, payload),
+            QueueKind::Worker {
+                local,
+                outbox,
+                shard_of,
+                my_shard,
+            } => {
+                let entry = Entry {
+                    key: Key { time, tie },
+                    payload,
+                };
+                let shard = shard_of[dst.index()];
+                if shard == *my_shard {
+                    if staged {
+                        local.stage(entry);
+                    } else {
+                        local.heap.push(entry);
+                    }
+                } else {
+                    // Cross-shard: batch in the worker's outbox; the
+                    // whole window's batch is delivered to the
+                    // destination inbox under one lock at the barrier.
+                    // The lookahead floor keeps the arrival outside the
+                    // current window, so deferred delivery is invisible.
+                    outbox[shard as usize].push(entry);
+                }
+            }
         }
     }
+}
 
-    fn send_with(&mut self, from: NodeId, to: NodeId, msg: M, staged: bool) {
-        let delay = self.config.delay.sample(from, to, &mut self.delay_rng);
-        let time = self.now + delay;
-        let pending = Pending::Message { from, to, msg };
-        if staged {
-            self.queue.stage_for(to, time, pending);
-        } else {
-            self.queue.push_for(to, time, pending);
-        }
-    }
-
-    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
-        self.send_with(from, to, msg, false);
-    }
-
-    /// Sends `msg` to every neighbor of `from` without cloning the
-    /// adjacency list; the fan-out is staged in per-shard inboxes so
-    /// each destination shard absorbs its share of the batch with one
-    /// bulk heap merge instead of per-message sifting pushes.
-    fn broadcast(&mut self, from: NodeId, msg: &M) {
-        let count = self.adjacency[from.index()].len();
-        for i in 0..count {
-            let to = self.adjacency[from.index()][i];
-            self.send_with(from, to, msg.clone(), true);
-        }
-    }
-
-    fn take_sample(&mut self) {
-        let now = self.now;
-        let n = self.tracks.len();
-        let mut logical = Vec::with_capacity(n);
-        let mut hardware = Vec::with_capacity(n);
-        for i in 0..n {
-            let hw = self.clocks[i].hardware_time(now);
-            logical.push(self.tracks[i][TrackId::MAIN.index()].value_at(hw));
-            hardware.push(hw);
-        }
-        self.trace.samples.push(ClockSample {
-            t: now,
-            logical,
-            hardware,
-        });
-    }
+/// Where a dispatch records behavior-emitted trace rows.
+pub(crate) enum RowSink<'a> {
+    /// Strict in-order mode: append directly to the trace (the serial
+    /// engines, whose dispatch order *is* the global order).
+    Direct(&'a mut Vec<Row>),
+    /// Relaxed mode: buffer per shard, tagged with the emitting event's
+    /// key; merged into global order at the barrier.
+    Buffered(&'a mut Vec<(Key, Row)>),
 }
 
 /// The mutable view of the simulation handed to behavior callbacks.
@@ -332,13 +362,19 @@ impl<M: Clone> SimState<M> {
 /// All interaction with the world — clocks, timers, messaging, tracing —
 /// goes through this context. See [`Behavior`] for an example.
 pub struct Ctx<'a, M> {
-    state: &'a mut SimState<M>,
     node: NodeId,
+    now: SimTime,
+    /// Key of the event being dispatched (tags buffered rows).
+    key: Key,
+    state: &'a mut NodeState,
+    shared: &'a SimShared,
+    queue: QueueKind<'a, M>,
+    rows: RowSink<'a>,
 }
 
 impl<M> std::fmt::Debug for Ctx<'_, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Ctx(node={}, now={})", self.node, self.state.now)
+        write!(f, "Ctx(node={}, now={})", self.node, self.now)
     }
 }
 
@@ -352,13 +388,13 @@ impl<M: Clone> Ctx<'_, M> {
     /// Neighbors of this node in the communication graph.
     #[must_use]
     pub fn neighbors(&self) -> &[NodeId] {
-        &self.state.adjacency[self.node.index()]
+        &self.shared.adjacency[self.node.index()]
     }
 
     /// Current reading of this node's hardware clock.
     #[must_use]
     pub fn hardware_now(&mut self) -> f64 {
-        self.state.hardware_now(self.node)
+        self.state.hardware_now(self.now)
     }
 
     /// Current Newtonian time.
@@ -368,19 +404,19 @@ impl<M: Clone> Ctx<'_, M> {
     /// and for trace annotation.
     #[must_use]
     pub fn newtonian_now(&self) -> SimTime {
-        self.state.now
+        self.now
     }
 
     /// Current value of one of this node's clock tracks.
     #[must_use]
     pub fn track_value(&mut self, track: TrackId) -> f64 {
-        self.state.track_value(self.node, track)
+        self.state.track_value(track, self.now)
     }
 
     /// Current rate multiplier of a track.
     #[must_use]
     pub fn multiplier(&self, track: TrackId) -> f64 {
-        self.state.tracks[self.node.index()][track.index()].multiplier
+        self.state.tracks[track.index()].multiplier
     }
 
     /// Sets the rate multiplier of a track (relative to the hardware
@@ -390,7 +426,7 @@ impl<M: Clone> Ctx<'_, M> {
     ///
     /// Panics if `multiplier` is not strictly positive.
     pub fn set_multiplier(&mut self, track: TrackId, multiplier: f64) {
-        self.state.reanchor(self.node, track, None, multiplier);
+        self.reanchor(track, None, multiplier);
     }
 
     /// Discontinuously sets a track's value, keeping its multiplier.
@@ -399,22 +435,66 @@ impl<M: Clone> Ctx<'_, M> {
     /// (at the current instant, after this callback returns).
     pub fn jump_track(&mut self, track: TrackId, value: f64) {
         let m = self.multiplier(track);
-        self.state.reanchor(self.node, track, Some(value), m);
+        self.reanchor(track, Some(value), m);
     }
 
     /// Creates an additional clock track with the given initial value and
     /// multiplier, returning its id.
     pub fn new_track(&mut self, initial: f64, multiplier: f64) -> TrackId {
         assert!(multiplier > 0.0, "track multipliers must be positive");
-        let hw = self.state.hardware_now(self.node);
-        let tracks = &mut self.state.tracks[self.node.index()];
-        tracks.push(Track {
+        let hw = self.state.hardware_now(self.now);
+        self.state.tracks.push(Track {
             hw_anchor: hw,
             value_anchor: initial,
             multiplier,
         });
-        self.state.track_timers[self.node.index()].push(Vec::new());
-        TrackId(tracks.len() - 1)
+        self.state.track_timers.push(Vec::new());
+        TrackId(self.state.tracks.len() - 1)
+    }
+
+    /// Re-anchors a track at the current instant with a new multiplier and
+    /// (optionally) a new value, rescheduling its pending timers.
+    ///
+    /// This is the hottest control-path operation (once per node per round
+    /// phase): it must not allocate. Rescheduling bumps each pending
+    /// timer's generation — the stale heap entries are skipped on pop —
+    /// and iterates the live-timer list in place by index.
+    fn reanchor(&mut self, track: TrackId, new_value: Option<f64>, new_mult: f64) {
+        assert!(new_mult > 0.0, "track multipliers must be positive");
+        let hw = self.state.hardware_now(self.now);
+        let tr = &mut self.state.tracks[track.index()];
+        let value = new_value.unwrap_or_else(|| tr.value_at(hw));
+        *tr = Track {
+            hw_anchor: hw,
+            value_anchor: value,
+            multiplier: new_mult,
+        };
+        let count = self.state.track_timers[track.index()].len();
+        for i in 0..count {
+            let id = self.state.track_timers[track.index()][i];
+            self.state.timer_slots[id].generation =
+                self.state.timer_slots[id].generation.wrapping_add(1);
+            self.schedule_timer_entry(id);
+        }
+    }
+
+    fn schedule_timer_entry(&mut self, id: usize) {
+        let slot = self.state.timer_slots[id];
+        let time = self
+            .state
+            .when_track_reaches(slot.track, slot.target, self.now);
+        let tie = self.state.next_tie(self.node);
+        self.queue.push(
+            self.node,
+            time,
+            tie,
+            Pending::Timer {
+                node: self.node,
+                id,
+                generation: slot.generation,
+            },
+            false,
+        );
     }
 
     /// Schedules [`Behavior::on_timer`] for when `track` reaches `target`.
@@ -422,13 +502,59 @@ impl<M: Clone> Ctx<'_, M> {
     /// If the target has already been reached, the timer fires at the
     /// current instant (after this callback returns).
     pub fn set_timer_at(&mut self, track: TrackId, target: f64, tag: TimerTag) -> TimerId {
-        self.state.set_timer_at(self.node, track, target, tag)
+        assert!(
+            track.index() < self.state.tracks.len(),
+            "unknown track {track:?} on {}",
+            self.node
+        );
+        let list_pos = self.state.track_timers[track.index()].len();
+        let slot = TimerSlot {
+            track,
+            target,
+            tag,
+            generation: 0,
+            epoch: 0,
+            active: true,
+            list_pos,
+        };
+        let id = if let Some(id) = self.state.timer_free.pop() {
+            let generation = self.state.timer_slots[id].generation.wrapping_add(1);
+            let epoch = self.state.timer_slots[id].epoch.wrapping_add(1);
+            self.state.timer_slots[id] = TimerSlot {
+                generation,
+                epoch,
+                ..slot
+            };
+            id
+        } else {
+            self.state.timer_slots.push(slot);
+            self.state.timer_slots.len() - 1
+        };
+        self.state.track_timers[track.index()].push(id);
+        self.schedule_timer_entry(id);
+        TimerId {
+            id,
+            epoch: self.state.timer_slots[id].epoch,
+        }
     }
 
     /// Cancels a pending timer; cancelling an already-fired or cancelled
     /// timer is a no-op.
     pub fn cancel_timer(&mut self, timer: TimerId) {
         self.state.cancel_timer(timer);
+    }
+
+    fn send_with(&mut self, to: NodeId, msg: M, staged: bool) {
+        let from = self.node;
+        let delay = self
+            .shared
+            .config
+            .delay
+            .sample(from, to, &mut self.state.delay_rng);
+        let time = self.now + delay;
+        let tie = self.state.next_tie(from);
+        self.queue
+            .push(to, time, tie, Pending::Message { from, to, msg }, staged);
     }
 
     /// Sends `msg` to a neighbor; delivery is delayed per the configured
@@ -440,17 +566,25 @@ impl<M: Clone> Ctx<'_, M> {
     /// communication graph restricts even Byzantine nodes.
     pub fn send(&mut self, to: NodeId, msg: M) {
         assert!(
-            to == self.node || self.state.adjacency[self.node.index()].contains(&to),
+            to == self.node || self.shared.adjacency[self.node.index()].contains(&to),
             "{} attempted to send to non-neighbor {}",
             self.node,
             to
         );
-        self.state.send(self.node, to, msg);
+        self.send_with(to, msg, false);
     }
 
     /// Sends `msg` to every neighbor (not to the sender itself).
+    ///
+    /// The fan-out is staged in per-shard inboxes so each destination
+    /// shard absorbs its share of the batch with one bulk heap merge
+    /// instead of per-message sifting pushes.
     pub fn broadcast(&mut self, msg: M) {
-        self.state.broadcast(self.node, &msg);
+        let count = self.shared.adjacency[self.node.index()].len();
+        for i in 0..count {
+            let to = self.shared.adjacency[self.node.index()][i];
+            self.send_with(to, msg.clone(), true);
+        }
     }
 
     /// Sends `msg` to every neighbor *and* to the sender itself (loopback
@@ -459,30 +593,137 @@ impl<M: Clone> Ctx<'_, M> {
     /// broadcast's staged fan-out batch.
     pub fn broadcast_with_loopback(&mut self, msg: M) {
         self.broadcast(msg.clone());
-        self.state.send_with(self.node, self.node, msg, true);
+        self.send_with(self.node, msg, true);
     }
 
     /// Sends `msg` only to the sender itself (a *virtual* pulse, used by
     /// silent estimator instances).
     pub fn send_self(&mut self, msg: M) {
-        self.state.send(self.node, self.node, msg);
+        self.send_with(self.node, msg, false);
     }
 
     /// This node's deterministic random stream.
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.state.node_rngs[self.node.index()]
+        &mut self.state.rng
     }
 
     /// Emits an untyped trace row.
     pub fn emit(&mut self, kind: &'static str, values: Vec<f64>) {
         let row = Row {
-            t: self.state.now,
+            t: self.now,
             node: self.node,
             kind,
             values,
         };
-        self.state.trace.rows.push(row);
+        match &mut self.rows {
+            RowSink::Direct(rows) => rows.push(row),
+            RowSink::Buffered(rows) => rows.push((self.key, row)),
+        }
     }
+}
+
+/// Dispatches one popped timer or message event on its owning node.
+/// Samples are engine-global and are handled by the callers directly.
+#[allow(clippy::too_many_arguments)] // the flat list *is* the dispatch record
+pub(crate) fn run_event<M: Clone>(
+    cell: &mut NodeCell<M>,
+    node: NodeId,
+    shared: &SimShared,
+    queue: QueueKind<'_, M>,
+    rows: RowSink<'_>,
+    stats: &mut SimStats,
+    now: SimTime,
+    key: Key,
+    pending: Pending<M>,
+) {
+    match pending {
+        Pending::Timer { id, generation, .. } => {
+            let slot = cell.state.timer_slots[id];
+            if !slot.active || slot.generation != generation {
+                return;
+            }
+            // Retire the timer before dispatch so the behavior can set a
+            // new one from the callback.
+            cell.state.retire_fired_timer(id);
+            stats.timers += 1;
+            let mut behavior = cell.behavior.take().expect("behavior present");
+            {
+                let mut ctx = Ctx {
+                    node,
+                    now,
+                    key,
+                    state: &mut cell.state,
+                    shared,
+                    queue,
+                    rows,
+                };
+                behavior.on_timer(&mut ctx, slot.tag);
+            }
+            cell.behavior = Some(behavior);
+        }
+        Pending::Message { from, msg, .. } => {
+            stats.messages += 1;
+            let mut behavior = cell.behavior.take().expect("behavior present");
+            {
+                let mut ctx = Ctx {
+                    node,
+                    now,
+                    key,
+                    state: &mut cell.state,
+                    shared,
+                    queue,
+                    rows,
+                };
+                behavior.on_message(&mut ctx, from, &msg);
+            }
+            cell.behavior = Some(behavior);
+        }
+        Pending::Sample => unreachable!("samples are dispatched by the engine loop"),
+    }
+}
+
+/// Runs one node's `on_start` (boot phase; always serial).
+fn run_start<M: Clone>(
+    cell: &mut NodeCell<M>,
+    node: NodeId,
+    shared: &SimShared,
+    queue: QueueKind<'_, M>,
+    rows: RowSink<'_>,
+) {
+    let mut behavior = cell.behavior.take().expect("behavior present");
+    {
+        let mut ctx = Ctx {
+            node,
+            now: SimTime::ZERO,
+            key: Key {
+                time: SimTime::ZERO,
+                tie: 0,
+            },
+            state: &mut cell.state,
+            shared,
+            queue,
+            rows,
+        };
+        behavior.on_start(&mut ctx);
+    }
+    cell.behavior = Some(behavior);
+}
+
+/// Records one engine-global clock sample over all nodes.
+pub(crate) fn take_sample<M>(cells: &mut [NodeCell<M>], now: SimTime, trace: &mut Trace) {
+    let n = cells.len();
+    let mut logical = Vec::with_capacity(n);
+    let mut hardware = Vec::with_capacity(n);
+    for cell in cells.iter_mut() {
+        let hw = cell.state.clock.hardware_time(now);
+        logical.push(cell.state.tracks[TrackId::MAIN.index()].value_at(hw));
+        hardware.push(hw);
+    }
+    trace.samples.push(ClockSample {
+        t: now,
+        logical,
+        hardware,
+    });
 }
 
 /// Builder for a [`Simulation`].
@@ -565,67 +806,106 @@ impl<M: Clone> SimBuilder<M> {
 
     /// Finalizes the simulation. Behaviors' `on_start` runs on the first
     /// [`Simulation::run_until`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sharded/parallel partition does not cover exactly the
+    /// simulation's nodes, or if [`SchedulerKind::Parallel`] is selected
+    /// with a zero lookahead (`d == U`) — the conservative windows would
+    /// make no progress.
     #[must_use]
     pub fn build(self) -> Simulation<M> {
         let n = self.behaviors.len();
-        let partition = match &self.config.scheduler {
-            SchedulerKind::Global => Partition::single(n),
+        let check_partition = |p: &Partition| {
+            assert_eq!(
+                p.node_count(),
+                n,
+                "scheduler partition covers {} nodes but the simulation has {n}",
+                p.node_count()
+            );
+        };
+        let store = match &self.config.scheduler {
+            SchedulerKind::Global => EventStore::Serial(ShardQueue::new(&Partition::single(n))),
             SchedulerKind::Sharded(p) => {
-                assert_eq!(
-                    p.node_count(),
-                    n,
-                    "scheduler partition covers {} nodes but the simulation has {n}",
-                    p.node_count()
+                check_partition(p);
+                EventStore::Serial(ShardQueue::new(p))
+            }
+            SchedulerKind::Parallel { partition, workers } => {
+                check_partition(partition);
+                assert!(
+                    self.config.delay.min_delay().is_positive(),
+                    "the parallel scheduler requires a positive lookahead (d − U > 0)"
                 );
-                p.clone()
+                let resolved = resolve_workers(*workers, partition.shard_count());
+                EventStore::Parallel(ParQueue::new(partition, resolved))
             }
         };
         let root = SimRng::seed_from(self.config.seed);
-        let clocks = (0..n)
-            .map(|i| {
+        let cells = self
+            .behaviors
+            .into_iter()
+            .enumerate()
+            .map(|(i, behavior)| {
                 let model = self.rate_overrides[i]
                     .clone()
                     .unwrap_or_else(|| self.config.rate_model.clone());
-                HardwareClock::new(self.config.rho, model, root.derive("clock", i as u64))
+                NodeCell {
+                    state: NodeState {
+                        clock: HardwareClock::new(
+                            self.config.rho,
+                            model,
+                            root.derive("clock", i as u64),
+                        ),
+                        tracks: vec![Track {
+                            hw_anchor: 0.0,
+                            value_anchor: 0.0,
+                            multiplier: 1.0,
+                        }],
+                        track_timers: vec![Vec::new()],
+                        timer_slots: Vec::new(),
+                        timer_free: Vec::new(),
+                        rng: root.derive("node", i as u64),
+                        delay_rng: root.derive("delay", i as u64),
+                        key_counter: 0,
+                    },
+                    behavior: Some(behavior),
+                }
             })
             .collect();
-        let node_rngs = (0..n).map(|i| root.derive("node", i as u64)).collect();
-        let tracks = (0..n)
-            .map(|_| {
-                vec![Track {
-                    hw_anchor: 0.0,
-                    value_anchor: 0.0,
-                    multiplier: 1.0,
-                }]
-            })
-            .collect();
-        let state = SimState {
+        Simulation {
             now: SimTime::ZERO,
-            config: self.config,
-            adjacency: self.adjacency,
-            clocks,
-            tracks,
-            track_timers: (0..n).map(|_| vec![Vec::new()]).collect(),
-            timer_slots: Vec::new(),
-            timer_free: Vec::new(),
-            queue: ShardQueue::new(&partition),
-            delay_rng: root.derive("delay", 0),
-            node_rngs,
+            shared: SimShared {
+                config: self.config,
+                adjacency: self.adjacency,
+            },
+            cells,
+            store,
             trace: Trace::new(),
             stats: SimStats::default(),
-        };
-        Simulation {
-            state,
-            behaviors: self.behaviors.into_iter().map(Some).collect(),
+            sample_seq: 0,
             started: false,
         }
     }
 }
 
+/// Where queued events live between dispatches.
+pub(crate) enum EventStore<M> {
+    /// The single-threaded engines (global heap or sharded).
+    Serial(ShardQueue<Pending<M>>),
+    /// The parallel executor's per-shard heaps.
+    Parallel(ParQueue<M>),
+}
+
 /// A runnable discrete-event simulation.
 pub struct Simulation<M> {
-    state: SimState<M>,
-    behaviors: Vec<Option<Box<dyn Behavior<M>>>>,
+    pub(crate) now: SimTime,
+    pub(crate) shared: SimShared,
+    pub(crate) cells: Vec<NodeCell<M>>,
+    pub(crate) store: EventStore<M>,
+    pub(crate) trace: Trace,
+    pub(crate) stats: SimStats,
+    /// Tie counter for engine-global (sample) events.
+    sample_seq: u64,
     started: bool,
 }
 
@@ -634,60 +914,65 @@ impl<M> std::fmt::Debug for Simulation<M> {
         write!(
             f,
             "Simulation(nodes={}, now={}, events={})",
-            self.behaviors.len(),
-            self.state.now,
-            self.state.stats.events
+            self.cells.len(),
+            self.now,
+            self.stats.events
         )
     }
 }
 
-impl<M: Clone> Simulation<M> {
+impl<M> Simulation<M> {
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.behaviors.len()
+        self.cells.len()
     }
 
     /// Current Newtonian time.
     #[must_use]
     pub fn now(&self) -> SimTime {
-        self.state.now
+        self.now
     }
 
     /// Work counters for the run so far.
     #[must_use]
     pub fn stats(&self) -> SimStats {
-        self.state.stats
+        self.stats
     }
 
     /// The trace recorded so far.
     #[must_use]
     pub fn trace(&self) -> &Trace {
-        &self.state.trace
+        &self.trace
     }
 
     /// Consumes the simulation and returns its trace.
     #[must_use]
     pub fn into_trace(self) -> Trace {
-        self.state.trace
+        self.trace
     }
 
     /// Current main logical clock value `L_v` of a node.
     #[must_use]
     pub fn logical_value(&mut self, node: NodeId) -> f64 {
-        self.state.track_value(node, TrackId::MAIN)
+        let now = self.now;
+        self.cells[node.index()]
+            .state
+            .track_value(TrackId::MAIN, now)
     }
 
     /// Current value of an arbitrary track of a node.
     #[must_use]
     pub fn track_value_of(&mut self, node: NodeId, track: TrackId) -> f64 {
-        self.state.track_value(node, track)
+        let now = self.now;
+        self.cells[node.index()].state.track_value(track, now)
     }
 
     /// Current hardware reading of a node.
     #[must_use]
     pub fn hardware_value(&mut self, node: NodeId) -> f64 {
-        self.state.hardware_now(node)
+        let now = self.now;
+        self.cells[node.index()].state.hardware_now(now)
     }
 
     /// Switches the message-delay distribution mid-run. The bounds
@@ -697,7 +982,7 @@ impl<M: Clone> Simulation<M> {
     /// classic worst case for master/slave synchronization. Messages
     /// already in flight keep their sampled delays.
     pub fn set_delay_distribution(&mut self, distribution: DelayDistribution) {
-        self.state.config.delay.set_distribution(distribution);
+        self.shared.config.delay.set_distribution(distribution);
     }
 
     /// Changes the clock-sampling interval mid-run (e.g. to record a
@@ -705,100 +990,124 @@ impl<M: Clone> Simulation<M> {
     /// pending sample; if sampling was configured off, a new chain
     /// starts at the current time.
     pub fn set_sample_interval(&mut self, interval: Option<SimDuration>) {
-        let was_off = self.state.config.sample_interval.is_none();
-        self.state.config.sample_interval = interval;
+        let was_off = self.shared.config.sample_interval.is_none();
+        self.shared.config.sample_interval = interval;
         if was_off && interval.is_some() && self.started {
-            self.state.push_sample(self.state.now);
+            let now = self.now;
+            self.push_sample(now);
         }
     }
 
-    fn start_if_needed(&mut self) {
+    /// Schedules the next periodic sample. Samples are engine-global
+    /// events dispatched in global order like everything else (the
+    /// parallel executor handles them at barriers).
+    fn push_sample(&mut self, time: SimTime) {
+        match &mut self.store {
+            EventStore::Serial(q) => {
+                let tie = tie_for_engine(self.sample_seq);
+                self.sample_seq += 1;
+                q.push_unowned_keyed(time, tie, Pending::Sample);
+            }
+            EventStore::Parallel(pq) => pq.pending_samples.push(time),
+        }
+    }
+}
+
+impl<M: Clone + Send> Simulation<M> {
+    pub(crate) fn start_if_needed(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
-        if self.state.config.sample_interval.is_some() {
-            self.state.push_sample(SimTime::ZERO);
+        if self.shared.config.sample_interval.is_some() {
+            self.push_sample(SimTime::ZERO);
         }
-        for i in 0..self.behaviors.len() {
-            self.dispatch_start(NodeId(i));
-        }
-    }
-
-    fn dispatch_start(&mut self, node: NodeId) {
-        let mut behavior = self.behaviors[node.index()]
-            .take()
-            .expect("behavior present");
-        {
-            let mut ctx = Ctx {
-                state: &mut self.state,
-                node,
+        let Simulation {
+            shared,
+            cells,
+            store,
+            trace,
+            ..
+        } = self;
+        for (i, cell) in cells.iter_mut().enumerate() {
+            let queue = match store {
+                EventStore::Serial(q) => QueueKind::Serial(q),
+                EventStore::Parallel(pq) => QueueKind::Boot(pq),
             };
-            behavior.on_start(&mut ctx);
+            run_start(
+                cell,
+                NodeId(i),
+                shared,
+                queue,
+                RowSink::Direct(&mut trace.rows),
+            );
         }
-        self.behaviors[node.index()] = Some(behavior);
     }
 
     /// Processes events until Newtonian time `until` (inclusive); `now()`
     /// afterwards equals `until` even if the queue drained early.
     pub fn run_until(&mut self, until: SimTime) {
         self.start_if_needed();
-        while let Some((time, pending)) = self.state.queue.pop_before(until) {
-            debug_assert!(time >= self.state.now, "time went backwards");
-            self.state.now = time;
-            self.state.stats.events += 1;
+        match self.store {
+            EventStore::Serial(_) => self.run_serial(until),
+            EventStore::Parallel(_) => self.run_parallel(until),
+        }
+    }
+
+    fn run_serial(&mut self, until: SimTime) {
+        let Simulation {
+            now,
+            shared,
+            cells,
+            store,
+            trace,
+            stats,
+            sample_seq,
+            ..
+        } = self;
+        let EventStore::Serial(queue) = store else {
+            unreachable!("run_serial on a parallel store");
+        };
+        while let Some((key, pending)) = queue.pop_before_keyed(until) {
+            let time = key.time;
+            debug_assert!(time >= *now, "time went backwards");
+            *now = time;
+            stats.events += 1;
             match pending {
-                Pending::Timer { id, generation } => {
-                    let slot = self.state.timer_slots[id];
-                    if !slot.active || slot.generation != generation {
-                        continue;
-                    }
-                    // Retire the timer before dispatch so the behavior can
-                    // set a new one from the callback.
-                    self.state.retire_fired_timer(id);
-                    self.state.stats.timers += 1;
-                    let mut behavior = self.behaviors[slot.node.index()]
-                        .take()
-                        .expect("behavior present");
-                    {
-                        let mut ctx = Ctx {
-                            state: &mut self.state,
-                            node: slot.node,
-                        };
-                        behavior.on_timer(&mut ctx, slot.tag);
-                    }
-                    self.behaviors[slot.node.index()] = Some(behavior);
-                }
-                Pending::Message { from, to, msg } => {
-                    self.state.stats.messages += 1;
-                    let mut behavior = self.behaviors[to.index()].take().expect("behavior present");
-                    {
-                        let mut ctx = Ctx {
-                            state: &mut self.state,
-                            node: to,
-                        };
-                        behavior.on_message(&mut ctx, from, &msg);
-                    }
-                    self.behaviors[to.index()] = Some(behavior);
-                }
                 Pending::Sample => {
-                    self.state.take_sample();
+                    take_sample(cells, time, trace);
                     // Re-arm unconditionally: events beyond `until` stay
                     // queued, so sampling continues across consecutive
                     // run_until calls (`None` pauses the chain; a later
                     // set_sample_interval resumes it).
-                    if let Some(interval) = self.state.config.sample_interval {
-                        self.state.push_sample(self.state.now + interval);
+                    if let Some(interval) = shared.config.sample_interval {
+                        let tie = tie_for_engine(*sample_seq);
+                        *sample_seq += 1;
+                        queue.push_unowned_keyed(time + interval, tie, Pending::Sample);
                     }
+                }
+                pending => {
+                    let node = pending.owner().expect("timer/message has an owner");
+                    run_event(
+                        &mut cells[node.index()],
+                        node,
+                        shared,
+                        QueueKind::Serial(queue),
+                        RowSink::Direct(&mut trace.rows),
+                        stats,
+                        time,
+                        key,
+                        pending,
+                    );
                 }
             }
         }
-        self.state.now = until;
+        *now = until;
     }
 
     /// Runs for a further duration of Newtonian time.
     pub fn run_for(&mut self, duration: SimDuration) {
-        let until = self.state.now + duration;
+        let until = self.now + duration;
         self.run_until(until);
     }
 }
@@ -807,8 +1116,7 @@ impl<M: Clone> Simulation<M> {
 mod tests {
     use super::*;
     use crate::network::DelayDistribution;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[derive(Clone)]
     enum Msg {
@@ -816,7 +1124,7 @@ mod tests {
     }
 
     struct PingPong {
-        log: Rc<RefCell<Vec<(NodeId, f64)>>>,
+        log: Arc<Mutex<Vec<(NodeId, f64)>>>,
         max_rounds: usize,
         seen: usize,
     }
@@ -829,7 +1137,8 @@ mod tests {
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {
             self.log
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .push((ctx.my_id(), ctx.newtonian_now().as_secs()));
             self.seen += 1;
             if self.seen < self.max_rounds {
@@ -856,7 +1165,7 @@ mod tests {
 
     #[test]
     fn messages_arrive_with_exact_delay() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut b = SimBuilder::new(fixed_delay_config());
         let a = b.add_node(Box::new(PingPong {
             log: log.clone(),
@@ -871,7 +1180,7 @@ mod tests {
         b.add_edge(a, c);
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1.0));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         // Ping bounces: n1 at 1ms, n0 at 2ms, n1 at 3ms, ...
         assert!(log.len() >= 4);
         for (i, (node, t)) in log.iter().take(4).enumerate() {
@@ -881,7 +1190,7 @@ mod tests {
     }
 
     struct TimerNode {
-        fired: Rc<RefCell<Vec<f64>>>,
+        fired: Arc<Mutex<Vec<f64>>>,
         plan: &'static str,
     }
 
@@ -906,7 +1215,11 @@ mod tests {
         fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
             match tag.kind {
-                0 => self.fired.borrow_mut().push(ctx.newtonian_now().as_secs()),
+                0 => self
+                    .fired
+                    .lock()
+                    .unwrap()
+                    .push(ctx.newtonian_now().as_secs()),
                 1 if self.plan == "retimed" => ctx.set_multiplier(TrackId::MAIN, 2.0),
                 1 if self.plan == "jump" => ctx.jump_track(TrackId::MAIN, 10.0),
                 _ => unreachable!(),
@@ -915,7 +1228,7 @@ mod tests {
     }
 
     fn run_timer_plan(plan: &'static str) -> Vec<f64> {
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = Arc::new(Mutex::new(Vec::new()));
         let mut b = SimBuilder::new(fixed_delay_config());
         b.add_node(Box::new(TimerNode {
             fired: fired.clone(),
@@ -923,7 +1236,7 @@ mod tests {
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(100.0));
-        let v = fired.borrow().clone();
+        let v = fired.lock().unwrap().clone();
         v
     }
 
@@ -951,7 +1264,7 @@ mod tests {
     }
 
     struct CancelNode {
-        fired: Rc<RefCell<Vec<u32>>>,
+        fired: Arc<Mutex<Vec<u32>>>,
     }
 
     impl Behavior<()> for CancelNode {
@@ -963,24 +1276,24 @@ mod tests {
         }
         fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
         fn on_timer(&mut self, _ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
-            self.fired.borrow_mut().push(tag.kind);
+            self.fired.lock().unwrap().push(tag.kind);
         }
     }
 
     #[test]
     fn cancelled_timers_do_not_fire() {
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = Arc::new(Mutex::new(Vec::new()));
         let mut b = SimBuilder::new(fixed_delay_config());
         b.add_node(Box::new(CancelNode {
             fired: fired.clone(),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(10.0));
-        assert_eq!(*fired.borrow(), vec![2]);
+        assert_eq!(*fired.lock().unwrap(), vec![2]);
     }
 
     struct StaleCanceller {
-        fired: Rc<RefCell<Vec<u32>>>,
+        fired: Arc<Mutex<Vec<u32>>>,
         first: Option<TimerId>,
     }
 
@@ -990,7 +1303,7 @@ mod tests {
         }
         fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
-            self.fired.borrow_mut().push(tag.kind);
+            self.fired.lock().unwrap().push(tag.kind);
             if tag.kind == 1 {
                 // Timer 1 just fired, freeing its slot; the next timer
                 // reuses it. Cancelling the *stale* handle must be a
@@ -1005,7 +1318,7 @@ mod tests {
 
     #[test]
     fn stale_handle_cannot_cancel_a_slot_reusing_successor() {
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = Arc::new(Mutex::new(Vec::new()));
         let mut b = SimBuilder::new(fixed_delay_config());
         b.add_node(Box::new(StaleCanceller {
             fired: fired.clone(),
@@ -1013,7 +1326,7 @@ mod tests {
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(10.0));
-        assert_eq!(*fired.borrow(), vec![1, 2]);
+        assert_eq!(*fired.lock().unwrap(), vec![1, 2]);
     }
 
     struct Extra {
@@ -1055,7 +1368,7 @@ mod tests {
         config.sample_interval = Some(SimDuration::from_secs(0.25));
         let mut b = SimBuilder::new(config);
         b.add_node(Box::new(CancelNode {
-            fired: Rc::new(RefCell::new(Vec::new())),
+            fired: Arc::new(Mutex::new(Vec::new())),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1.0));
@@ -1067,7 +1380,7 @@ mod tests {
     #[test]
     fn deterministic_under_same_seed() {
         let run = || {
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Arc::new(Mutex::new(Vec::new()));
             let mut config = SimConfig {
                 seed: 7,
                 ..SimConfig::default()
@@ -1087,7 +1400,7 @@ mod tests {
             b.add_edge(a, c);
             let mut sim = b.build();
             sim.run_until(SimTime::from_secs(1.0));
-            let v = log.borrow().clone();
+            let v = log.lock().unwrap().clone();
             (v, sim.stats())
         };
         let (l1, s1) = run();
@@ -1111,7 +1424,7 @@ mod tests {
         let mut b = SimBuilder::new(fixed_delay_config());
         b.add_node(Box::new(Bad));
         b.add_node(Box::new(CancelNode {
-            fired: Rc::new(RefCell::new(Vec::new())),
+            fired: Arc::new(Mutex::new(Vec::new())),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1.0));
@@ -1121,7 +1434,7 @@ mod tests {
     fn run_until_advances_now_even_when_idle() {
         let mut b = SimBuilder::<()>::new(fixed_delay_config());
         b.add_node(Box::new(CancelNode {
-            fired: Rc::new(RefCell::new(Vec::new())),
+            fired: Arc::new(Mutex::new(Vec::new())),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(3.5));
@@ -1137,7 +1450,7 @@ mod tests {
         config.sample_interval = Some(SimDuration::from_millis(100.0));
         let mut b = SimBuilder::<()>::new(config);
         b.add_node(Box::new(CancelNode {
-            fired: Rc::new(RefCell::new(Vec::new())),
+            fired: Arc::new(Mutex::new(Vec::new())),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1.0));
@@ -1158,7 +1471,7 @@ mod tests {
         config.sample_interval = Some(SimDuration::from_millis(500.0));
         let mut b = SimBuilder::<()>::new(config);
         b.add_node(Box::new(CancelNode {
-            fired: Rc::new(RefCell::new(Vec::new())),
+            fired: Arc::new(Mutex::new(Vec::new())),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1.0));
@@ -1175,7 +1488,7 @@ mod tests {
 
     #[test]
     fn delay_distribution_switch_applies_to_new_messages() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut config = fixed_delay_config();
         // U = 0.5 ms so Maximal (1 ms) and Minimal (0.5 ms) differ.
         config.delay = DelayConfig::new(
@@ -1198,10 +1511,10 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(0.0105));
         // ~10 hops at 1 ms each.
-        let hops_maximal = log.borrow().len();
+        let hops_maximal = log.lock().unwrap().len();
         sim.set_delay_distribution(DelayDistribution::Minimal);
         sim.run_until(SimTime::from_secs(0.021));
-        let hops_minimal = log.borrow().len() - hops_maximal;
+        let hops_minimal = log.lock().unwrap().len() - hops_maximal;
         // Same wall-clock window, half the delay: about twice the hops.
         assert!(
             hops_minimal >= hops_maximal + 5,

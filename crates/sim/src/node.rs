@@ -125,7 +125,13 @@ pub struct TimerId {
 /// The driver of a node: reacts to simulation events via the [`Ctx`] API.
 ///
 /// Implementations hold all per-node algorithm state. The engine guarantees
-/// single-threaded, run-to-completion semantics: callbacks never interleave.
+/// run-to-completion semantics: callbacks of one node never interleave.
+/// Behaviors must be [`Send`] because the parallel scheduler
+/// ([`crate::shard::SchedulerKind::Parallel`]) dispatches different
+/// nodes' callbacks on worker threads — a single behavior still only
+/// ever runs on one thread at a time, so `Sync` is not required, but
+/// shared test probes must use `Arc<Mutex<…>>` rather than
+/// `Rc<RefCell<…>>`.
 ///
 /// # Examples
 ///
@@ -150,7 +156,7 @@ pub struct TimerId {
 ///     }
 /// }
 /// ```
-pub trait Behavior<M> {
+pub trait Behavior<M>: Send {
     /// Called once at simulation time 0, in node-id order.
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
 

@@ -1,0 +1,758 @@
+//! The parallel shard executor.
+//!
+//! [`SchedulerKind::Parallel`](crate::shard::SchedulerKind) advances the
+//! per-shard event heaps of [`crate::shard`] on a pool of worker threads
+//! between **conservative lookahead barriers**. The model provides the
+//! safety argument: every message is delayed by at least `d − U > 0`, so
+//! if `T₀` is the globally earliest pending event, *no* event created
+//! during the window can land before `T₀ + (d − U)`. Each shard may
+//! therefore process all of its own events with `time < T₀ + (d − U)`
+//! without consulting the others — the classic Chandy–Misra window,
+//! executed here truly in parallel.
+//!
+//! Determinism and byte-identity with the serial engines come from three
+//! ingredients, none of which involve cross-thread ordering:
+//!
+//! * **Scheduler-independent keys.** Every event is stamped
+//!   `(time, source, per-source counter)` by the node that creates it
+//!   ([`crate::engine`]); within a shard, events dispatch in key order,
+//!   and the per-node state evolution is a pure function of that node's
+//!   own event sequence (per-node RNG and delay streams included).
+//! * **Relaxed trace buffers.** Workers buffer emitted rows per shard,
+//!   tagged with the emitting event's key; the coordinator merges them
+//!   into global key order at each barrier. Since windows partition time,
+//!   the concatenation of merged windows is exactly the serial engine's
+//!   strict in-order trace.
+//! * **Barrier-handled samples.** Periodic clock samples read *every*
+//!   node's clock, so they are executed by the coordinator between
+//!   windows (windows are capped at the next sample time), exactly where
+//!   the serial engine dispatches them.
+//!
+//! Cross-shard sends are batched in a per-worker outbox and flushed into
+//! the destination shards' mutex-guarded inboxes once per window (one
+//! lock per destination instead of one per message); owners absorb their
+//! inbox when they next enter a window. The lookahead floor guarantees
+//! staged arrivals never belong to the window they were created in, so
+//! flush/drain ordering across workers is irrelevant.
+//!
+//! The worker count is a pure throughput knob — results are
+//! byte-identical on every count — so it is clamped to the machine's
+//! available parallelism ([`crate::shard::resolve_workers`]), and a
+//! resolved count of one skips the pool entirely and runs the same
+//! windows inline on the calling thread. The pool is hand-rolled
+//! (scoped threads + a spin gate) because the build environment has no
+//! crates.io access; windows are short, so the gate spins briefly
+//! before yielding — and yields immediately when the machine is
+//! oversubscribed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::{
+    run_event, take_sample, EventStore, NodeCell, Pending, QueueKind, RowSink, SimShared, SimStats,
+    Simulation,
+};
+use crate::node::NodeId;
+use crate::shard::{Entry, Key, Partition, Shard};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Row, Trace};
+
+/// The parallel executor's event store: per-shard heaps plus the sample
+/// chain (samples never enter a shard — they are engine-global).
+pub(crate) struct ParQueue<M> {
+    pub(crate) shards: Vec<Shard<Pending<M>>>,
+    pub(crate) shard_of: Vec<u32>,
+    /// Resolved worker count (see [`crate::shard::resolve_workers`]).
+    pub(crate) workers: usize,
+    /// Pending engine-global sample times (usually one; transiently more
+    /// after `set_sample_interval` toggles, mirroring the serial queue).
+    pub(crate) pending_samples: Vec<SimTime>,
+}
+
+impl<M> ParQueue<M> {
+    pub(crate) fn new(partition: &Partition, workers: usize) -> Self {
+        let count = partition.shard_count().max(1);
+        ParQueue {
+            shards: (0..count).map(|_| Shard::new()).collect(),
+            shard_of: partition.shard_map().to_vec(),
+            workers,
+            pending_samples: Vec::new(),
+        }
+    }
+
+    /// Serial-phase push (boot / between runs): straight into the owning
+    /// shard's heap.
+    pub(crate) fn push(&mut self, dst: NodeId, time: SimTime, tie: u128, payload: Pending<M>) {
+        let shard = self.shard_of[dst.index()] as usize;
+        self.shards[shard].heap.push(Entry {
+            key: Key { time, tie },
+            payload,
+        });
+    }
+}
+
+impl<M> std::fmt::Debug for ParQueue<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ParQueue(shards={}, workers={})",
+            self.shards.len(),
+            self.workers
+        )
+    }
+}
+
+/// Staged cross-shard arrivals for one shard, with their running
+/// minimum key so barrier head-scans are O(1).
+struct InboxBuf<M> {
+    entries: Vec<Entry<Pending<M>>>,
+    min: Key,
+}
+
+/// One shard's arrival inbox: the buffer itself behind a mutex, plus a
+/// lock-free mirror of the staged minimum's *time* so the coordinator's
+/// per-barrier scan needs no locks at all (matching the `heads` array).
+pub(crate) struct Inbox<M> {
+    buf: Mutex<InboxBuf<M>>,
+    /// `f64::to_bits` of `buf.min.time` (`INFINITY` when empty).
+    /// Written only while holding `buf`'s lock; read `Relaxed` by the
+    /// barrier scan, whose visibility rides the gate's release/acquire
+    /// edges exactly like the shard heads.
+    min_time_bits: AtomicU64,
+}
+
+impl<M> Inbox<M> {
+    fn new() -> Self {
+        Inbox {
+            buf: Mutex::new(InboxBuf {
+                entries: Vec::new(),
+                min: Key::max(),
+            }),
+            min_time_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// Appends one worker's window batch for this shard.
+    fn stage_batch(&self, batch: &mut Vec<Entry<Pending<M>>>) {
+        let mut buf = self.buf.lock().expect("inbox poisoned");
+        for entry in batch.iter() {
+            if entry.key < buf.min {
+                buf.min = entry.key;
+            }
+        }
+        let min_bits = buf.min.time.as_secs().to_bits();
+        buf.entries.append(batch);
+        self.min_time_bits.store(min_bits, Ordering::Relaxed);
+    }
+
+    /// Moves all staged arrivals into `shard`'s bulk-merge inbox.
+    fn drain_into(&self, shard: &mut Shard<Pending<M>>) {
+        let mut guard = self.buf.lock().expect("inbox poisoned");
+        let buf = &mut *guard;
+        if buf.entries.is_empty() {
+            return;
+        }
+        if buf.min < shard.inbox_min {
+            shard.inbox_min = buf.min;
+        }
+        shard.inbox.append(&mut buf.entries);
+        buf.min = Key::max();
+        self.min_time_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The staged minimum's time, lock-free (barrier scan only).
+    fn min_time(&self) -> SimTime {
+        SimTime::from_secs(f64::from_bits(self.min_time_bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// One shard's window-processing state, owned by its worker during a
+/// window and by the coordinator between windows.
+struct Task<M> {
+    shard: Shard<Pending<M>>,
+    /// Relaxed-mode trace rows: `(event key, row)`, in dispatch order.
+    rows: Vec<(Key, Row)>,
+    stats: SimStats,
+    now: SimTime,
+}
+
+/// Raw-pointer view of the node cells, shared across the pool.
+///
+/// # Safety contract
+///
+/// During a window, worker `w` dereferences only cells of nodes whose
+/// shard is statically assigned to `w` (`shard % workers == w`), and the
+/// partition maps each node to exactly one shard — so concurrent `&mut`
+/// accesses are disjoint. Between windows (workers parked at the gate),
+/// only the coordinator touches cells. Visibility is established by the
+/// gate's release/acquire edges and the task mutexes.
+struct Cells<'a, M> {
+    ptr: *mut NodeCell<M>,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [NodeCell<M>]>,
+}
+
+impl<M> Clone for Cells<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Cells<'_, M> {}
+
+// SAFETY: see the struct-level contract — all aliasing is excluded by
+// the static shard→worker assignment and the barrier protocol.
+unsafe impl<M: Send> Send for Cells<'_, M> {}
+unsafe impl<M: Send> Sync for Cells<'_, M> {}
+
+impl<'a, M> Cells<'a, M> {
+    fn new(cells: &'a mut [NodeCell<M>]) -> Self {
+        Cells {
+            ptr: cells.as_mut_ptr(),
+            len: cells.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// One node's cell. Caller must hold exclusive logical ownership of
+    /// this node per the struct-level contract.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn cell(&self, idx: usize) -> &mut NodeCell<M> {
+        debug_assert!(idx < self.len);
+        unsafe { &mut *self.ptr.add(idx) }
+    }
+
+    /// The whole slice. Caller must be the only thread touching any
+    /// cell (coordinator between windows).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn all(&self) -> &mut [NodeCell<M>] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+/// Coordinator ⇄ worker rendezvous: a sense-counting spin gate.
+struct Gate {
+    /// Incremented by the coordinator to open a window (or to release
+    /// workers into shutdown when `stop` is set).
+    epoch: AtomicU64,
+    /// Count of workers finished with the current window.
+    done: AtomicUsize,
+    stop: AtomicBool,
+    /// Set by a worker whose window processing panicked (it still
+    /// counts itself done so the coordinator can notice and propagate
+    /// instead of spinning forever).
+    panicked: AtomicBool,
+    /// Window cap (exclusive), as `f64::to_bits` of seconds.
+    cap_bits: AtomicU64,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            epoch: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            cap_bits: AtomicU64::new(0),
+        }
+    }
+
+    fn open(&self, cap: SimTime) {
+        self.cap_bits
+            .store(cap.as_secs().to_bits(), Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    fn shut_down(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    fn wait_done(&self, workers: usize, spin_limit: u32) {
+        spin_until(spin_limit, || self.done.load(Ordering::Acquire) >= workers);
+    }
+
+    fn cap(&self) -> SimTime {
+        SimTime::from_secs(f64::from_bits(self.cap_bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// Spins up to `spin_limit` iterations, then yields. Windows are
+/// microseconds apart, so a short spin usually wins — but when the
+/// machine is oversubscribed (pinned worker counts above the core
+/// count) the caller passes `0` and every wait yields immediately.
+fn spin_until(spin_limit: u32, cond: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        if spins < spin_limit {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Index and value of the earliest pending sample, if any.
+fn earliest_sample(pending: &[SimTime]) -> Option<(usize, SimTime)> {
+    pending
+        .iter()
+        .copied()
+        .enumerate()
+        .min_by(|a, b| a.1.cmp(&b.1))
+}
+
+/// Everything a window executor (worker thread or the inline path)
+/// needs, bundled to keep signatures manageable.
+struct Pool<'a, M> {
+    tasks: &'a [Mutex<Task<M>>],
+    inboxes: &'a [Inbox<M>],
+    /// Post-window `head_key().time` bits per shard, published by the
+    /// advancing worker so the coordinator's scan needs no task locks.
+    heads: &'a [AtomicU64],
+    cells: Cells<'a, M>,
+    shared: &'a SimShared,
+    shard_of: &'a [u32],
+    until: SimTime,
+}
+
+impl<M> Clone for Pool<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Pool<'_, M> {}
+
+impl<M: Clone + Send> Simulation<M> {
+    /// The parallel twin of the serial `run_until` loop. Called with the
+    /// boot phase already done.
+    pub(crate) fn run_parallel(&mut self, until: SimTime) {
+        let Simulation {
+            now,
+            shared,
+            cells,
+            store,
+            trace,
+            stats,
+            ..
+        } = self;
+        let EventStore::Parallel(pq) = store else {
+            unreachable!("run_parallel on a serial store");
+        };
+        let lookahead = shared.config.delay.min_delay();
+        debug_assert!(
+            lookahead.is_positive(),
+            "parallel scheduler built with zero lookahead"
+        );
+        let nshards = pq.shards.len();
+        let nworkers = pq.workers.clamp(1, nshards);
+        let shared: &SimShared = shared;
+
+        let tasks: Vec<Mutex<Task<M>>> = pq
+            .shards
+            .drain(..)
+            .map(|shard| {
+                Mutex::new(Task {
+                    shard,
+                    rows: Vec::new(),
+                    stats: SimStats::default(),
+                    now: *now,
+                })
+            })
+            .collect();
+        let inboxes: Vec<Inbox<M>> = (0..nshards).map(|_| Inbox::new()).collect();
+        let heads: Vec<AtomicU64> = tasks
+            .iter()
+            .map(|t| {
+                let time = t.lock().expect("task poisoned").shard.head_key().time;
+                AtomicU64::new(time.as_secs().to_bits())
+            })
+            .collect();
+        let pool = Pool {
+            tasks: &tasks,
+            inboxes: &inboxes,
+            heads: &heads,
+            cells: Cells::new(cells),
+            shared,
+            shard_of: &pq.shard_of,
+            until,
+        };
+        let mut windows = Windows {
+            pending_samples: &mut pq.pending_samples,
+            trace,
+            stats,
+            lookahead,
+            until,
+            rows_batch: Vec::new(),
+        };
+
+        if nworkers == 1 {
+            // Single worker: same windows, same code path, no pool — the
+            // calling thread advances every shard itself.
+            let mut outbox: Vec<Vec<Entry<Pending<M>>>> =
+                (0..nshards).map(|_| Vec::new()).collect();
+            windows.coordinate(pool, |cap| {
+                for s in 0..nshards {
+                    advance_shard(s, cap, pool, &mut outbox);
+                }
+                flush_outbox(&mut outbox, &inboxes);
+            });
+        } else {
+            let gate = Gate::new();
+            let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            // The coordinator thread also wants a core while workers run.
+            let spin_limit = if avail > nworkers { 256 } else { 0 };
+            std::thread::scope(|scope| {
+                for w in 0..nworkers {
+                    let gate = &gate;
+                    scope.spawn(move || worker_loop(w, nworkers, gate, pool, spin_limit));
+                }
+                windows.coordinate(pool, |cap| {
+                    gate.open(cap);
+                    gate.wait_done(nworkers, spin_limit);
+                    if gate.panicked.load(Ordering::Relaxed) {
+                        // Release the surviving workers before
+                        // unwinding, or the scope join below would wait
+                        // on them forever. The worker's own panic
+                        // message has already been printed; the scope
+                        // re-raises it after joining.
+                        gate.shut_down();
+                        panic!("a parallel worker panicked during a lookahead window");
+                    }
+                });
+                gate.shut_down();
+            });
+        }
+
+        for task in tasks {
+            let task = task.into_inner().expect("task poisoned");
+            stats.absorb(task.stats);
+            pq.shards.push(task.shard);
+        }
+        // Arrivals staged after a shard's last window (all beyond the
+        // final cap) survive into the next run_until call.
+        for (s, inbox) in inboxes.iter().enumerate() {
+            inbox.drain_into(&mut pq.shards[s]);
+        }
+        *now = until;
+    }
+}
+
+/// The coordinator's per-run state: the sample chain and the trace/stat
+/// accumulators it owns between windows.
+struct Windows<'a> {
+    pending_samples: &'a mut Vec<SimTime>,
+    trace: &'a mut Trace,
+    stats: &'a mut SimStats,
+    lookahead: SimDuration,
+    until: SimTime,
+    rows_batch: Vec<(Key, Row)>,
+}
+
+impl Windows<'_> {
+    /// The barrier loop: scan heads, fire due samples, open lookahead
+    /// windows via `run_window`, merge the relaxed row buffers.
+    fn coordinate<M: Clone + Send>(
+        &mut self,
+        pool: Pool<'_, M>,
+        mut run_window: impl FnMut(SimTime),
+    ) {
+        let nshards = pool.tasks.len();
+        loop {
+            // Earliest pending event over all shard heads (published by
+            // the last window's workers) and staged inboxes.
+            let mut t_min: Option<SimTime> = None;
+            for s in 0..nshards {
+                let mut time =
+                    SimTime::from_secs(f64::from_bits(pool.heads[s].load(Ordering::Relaxed)));
+                time = time.min(pool.inboxes[s].min_time());
+                if time < SimTime::from_secs(f64::INFINITY) {
+                    t_min = Some(t_min.map_or(time, |m| m.min(time)));
+                }
+            }
+
+            // Fire due samples: engine-global reads, dispatched here at
+            // the barrier — before any node event at the same time,
+            // matching the serial tie-break.
+            while let Some((idx, ts)) = earliest_sample(self.pending_samples) {
+                if ts > self.until || t_min.is_some_and(|tm| ts > tm) {
+                    break;
+                }
+                self.pending_samples.swap_remove(idx);
+                self.stats.events += 1;
+                // SAFETY: workers are parked at the gate; the
+                // coordinator is the only thread touching node state.
+                take_sample(unsafe { pool.cells.all() }, ts, self.trace);
+                if let Some(interval) = pool.shared.config.sample_interval {
+                    self.pending_samples.push(ts + interval);
+                }
+            }
+
+            let Some(tm) = t_min else { break };
+            if tm > self.until {
+                break;
+            }
+
+            // Window [tm, cap): the lookahead bound, tightened to the
+            // next sample time so no node event overtakes a sample.
+            let mut cap = tm + self.lookahead;
+            // A lookahead below the f64 ulp of the current time would
+            // open empty windows forever; fail loudly instead of
+            // silently livelocking. (Build already rejects d == U; this
+            // catches pathological d − U ≪ t.)
+            assert!(
+                cap > tm,
+                "lookahead {} s vanishes at t = {tm} (below f64 resolution): \
+                 parallel windows cannot advance",
+                self.lookahead
+            );
+            if let Some((_, ts)) = earliest_sample(self.pending_samples) {
+                cap = cap.min(ts);
+            }
+            run_window(cap);
+
+            // Merge this window's relaxed row buffers into global key
+            // order. Windows partition time, so appending merged windows
+            // reproduces the strict serial order exactly.
+            for task in pool.tasks.iter() {
+                self.rows_batch
+                    .append(&mut task.lock().expect("task poisoned").rows);
+            }
+            self.rows_batch.sort_by_key(|&(key, _)| key);
+            self.trace
+                .rows
+                .extend(self.rows_batch.drain(..).map(|(_, row)| row));
+        }
+    }
+}
+
+/// One worker: waits at the gate, then advances each of its statically
+/// assigned shards to the window cap and flushes its outbox.
+fn worker_loop<M: Clone + Send>(
+    worker: usize,
+    nworkers: usize,
+    gate: &Gate,
+    pool: Pool<'_, M>,
+    spin_limit: u32,
+) {
+    let nshards = pool.tasks.len();
+    let mut outbox: Vec<Vec<Entry<Pending<M>>>> = (0..nshards).map(|_| Vec::new()).collect();
+    let mut seen = 0u64;
+    loop {
+        spin_until(spin_limit, || gate.epoch.load(Ordering::Acquire) != seen);
+        seen = seen.wrapping_add(1);
+        if gate.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let cap = gate.cap();
+        // A panicking behavior must not strand the coordinator: catch,
+        // flag, count this worker done, and re-raise so the scope join
+        // propagates the original panic. (Unwind safety: the run is
+        // being torn down — the poisoned task mutexes are never read.)
+        let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = worker;
+            while s < nshards {
+                advance_shard(s, cap, pool, &mut outbox);
+                s += nworkers;
+            }
+            flush_outbox(&mut outbox, pool.inboxes);
+        }));
+        if let Err(payload) = window {
+            gate.panicked.store(true, Ordering::Relaxed);
+            gate.done.fetch_add(1, Ordering::Release);
+            std::panic::resume_unwind(payload);
+        }
+        gate.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Delivers a window's batched cross-shard sends: one inbox lock per
+/// destination shard instead of one per message.
+fn flush_outbox<M>(outbox: &mut [Vec<Entry<Pending<M>>>], inboxes: &[Inbox<M>]) {
+    for (dst, batch) in outbox.iter_mut().enumerate() {
+        if !batch.is_empty() {
+            inboxes[dst].stage_batch(batch);
+        }
+    }
+}
+
+/// Advances one shard through the window: absorb staged arrivals,
+/// pop-and-dispatch every local event below the cap, publish the new
+/// head.
+fn advance_shard<M: Clone + Send>(
+    s: usize,
+    cap: SimTime,
+    pool: Pool<'_, M>,
+    outbox: &mut [Vec<Entry<Pending<M>>>],
+) {
+    let mut task = pool.tasks[s].lock().expect("task poisoned");
+    let task = &mut *task;
+    pool.inboxes[s].drain_into(&mut task.shard);
+    loop {
+        let head = task.shard.head_key();
+        if head == Key::max() || head.time >= cap || head.time > pool.until {
+            break;
+        }
+        let entry = task.shard.pop_min().expect("non-empty head implies entry");
+        debug_assert!(entry.key.time >= task.now, "shard time went backwards");
+        task.now = entry.key.time;
+        task.stats.events += 1;
+        let node = entry
+            .payload
+            .owner()
+            .expect("samples never enter shard heaps");
+        debug_assert_eq!(
+            pool.shard_of[node.index()] as usize,
+            s,
+            "event on wrong shard"
+        );
+        // SAFETY: nodes of shard `s` are touched only by this worker
+        // during the window (static shard→worker assignment over a
+        // disjoint partition).
+        let cell = unsafe { pool.cells.cell(node.index()) };
+        run_event(
+            cell,
+            node,
+            pool.shared,
+            QueueKind::Worker {
+                local: &mut task.shard,
+                outbox,
+                shard_of: pool.shard_of,
+                my_shard: s as u32,
+            },
+            RowSink::Buffered(&mut task.rows),
+            &mut task.stats,
+            entry.key.time,
+            entry.key,
+            entry.payload,
+        );
+    }
+    pool.heads[s].store(
+        task.shard.head_key().time.as_secs().to_bits(),
+        Ordering::Relaxed,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Ctx, SimBuilder, SimConfig};
+    use crate::node::{Behavior, NodeId, TimerTag, TrackId};
+    use crate::shard::{Partition, SchedulerKind};
+    use crate::time::{SimDuration, SimTime};
+
+    /// A minimal churn workload without shared test state, so the
+    /// parallel smoke test needs no synchronization of its own.
+    struct Beater;
+
+    impl Behavior<u32> for Beater {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.set_timer_at(TrackId::MAIN, 0.005, TimerTag::new(0));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, _tag: TimerTag) {
+            let token = ctx.rng().next_u32();
+            ctx.broadcast(token);
+            let next = ctx.track_value(TrackId::MAIN) + 0.005;
+            ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(0));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: &u32) {
+            ctx.emit("beat", vec![from.index() as f64, f64::from(*msg % 64)]);
+        }
+    }
+
+    fn run(scheduler: SchedulerKind) -> Vec<u8> {
+        let config = SimConfig {
+            seed: 11,
+            sample_interval: Some(SimDuration::from_millis(20.0)),
+            scheduler,
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(config);
+        let n = 8;
+        let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(Box::new(Beater))).collect();
+        for i in 0..n {
+            b.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(0.5));
+        sim.run_for(SimDuration::from_secs(0.25));
+        sim.into_trace().to_bytes()
+    }
+
+    #[test]
+    fn parallel_matches_global_heap_on_every_worker_count() {
+        let reference = run(SchedulerKind::Global);
+        assert!(!reference.is_empty());
+        for workers in [1usize, 2, 3, 8] {
+            let parallel = run(SchedulerKind::Parallel {
+                partition: Partition::by_blocks(8, 2),
+                workers,
+            });
+            assert_eq!(
+                parallel, reference,
+                "parallel trace diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates_instead_of_hanging() {
+        struct Bomb;
+        impl Behavior<()> for Bomb {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer_at(TrackId::MAIN, 0.01, TimerTag::new(0));
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: TimerTag) {
+                panic!("behavior exploded");
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+        }
+        let mut b = SimBuilder::<()>::new(SimConfig {
+            scheduler: SchedulerKind::Parallel {
+                partition: Partition::by_blocks(2, 1),
+                workers: 2,
+            },
+            ..SimConfig::default()
+        });
+        b.add_node(Box::new(Bomb));
+        b.add_node(Box::new(Bomb));
+        let mut sim = b.build();
+        // Force two real OS threads regardless of this machine's core
+        // count, using the crate-internal knob rather than the
+        // FTGCS_WORKERS env var (mutating the environment would race
+        // sibling tests' getenv). Thread count never changes results;
+        // this only selects the pooled code path.
+        if let crate::engine::EventStore::Parallel(pq) = &mut sim.store {
+            pq.workers = 2;
+        }
+        sim.run_until(SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_is_rejected() {
+        use crate::network::{DelayConfig, DelayDistribution};
+        let config = SimConfig {
+            delay: DelayConfig::new(
+                SimDuration::from_millis(1.0),
+                SimDuration::from_millis(1.0),
+                DelayDistribution::Uniform,
+            ),
+            scheduler: SchedulerKind::Parallel {
+                partition: Partition::single(1),
+                workers: 2,
+            },
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::<()>::new(config);
+        struct Quiet;
+        impl Behavior<()> for Quiet {
+            fn on_start(&mut self, _: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, ()>, _: TimerTag) {}
+        }
+        b.add_node(Box::new(Quiet));
+        let _ = b.build();
+    }
+}

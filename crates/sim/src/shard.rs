@@ -26,6 +26,11 @@
 //! the heap in bulk the next time the shard pops. A k-member cluster
 //! pulse enqueues its k² fan-out entries as appends plus one
 //! heapify-extend instead of k² sifting pushes.
+//!
+//! [`SchedulerKind::Parallel`] reuses the same per-shard heaps but
+//! advances them on worker threads between lookahead barriers (see
+//! [`crate::par`]); its tie-breaking key is supplied by the engine so
+//! that the dispatch order is identical on every thread count.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -131,45 +136,136 @@ impl Partition {
     pub fn shard_of(&self, node: NodeId) -> usize {
         self.shard_of[node.index()] as usize
     }
+
+    /// The dense node → shard map (one `u32` per node).
+    pub(crate) fn shard_map(&self) -> &[u32] {
+        &self.shard_of
+    }
+}
+
+/// Environment variable pinning the worker-thread count of
+/// [`SchedulerKind::Parallel`] to an exact value (capped only at the
+/// shard count). Benches and CI set it to pin thread counts
+/// deterministically; it takes precedence over both the requested
+/// count and the core-count clamp.
+pub const WORKERS_ENV: &str = "FTGCS_WORKERS";
+
+/// Resolves the worker-thread count for a parallel run.
+///
+/// Precedence: the [`WORKERS_ENV`] environment variable pins an exact
+/// count; otherwise `requested` (or, when `requested == 0`, the
+/// machine's available parallelism) is used, additionally capped at the
+/// available parallelism — spawning more OS threads than cores can only
+/// add scheduling overhead, and the dispatch order is byte-identical on
+/// every thread count, so the clamp is invisible to results. Everything
+/// is clamped to `[1, shards]`: a shard is the unit of sequential work.
+/// # Panics
+///
+/// Panics if [`WORKERS_ENV`] is set but is not a positive integer — a
+/// mistyped pin silently falling back to auto would let CI's
+/// pinned-worker equivalence jobs stop testing the multi-thread
+/// barrier protocol without anyone noticing.
+#[must_use]
+pub fn resolve_workers(requested: usize, shards: usize) -> usize {
+    let env = std::env::var(WORKERS_ENV).ok().map(|v| {
+        v.trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| panic!("{WORKERS_ENV} must be a positive integer, got {v:?}"))
+    });
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    resolve_workers_from(requested, env, avail, shards)
+}
+
+/// Pure core of [`resolve_workers`].
+fn resolve_workers_from(
+    requested: usize,
+    env: Option<usize>,
+    avail: usize,
+    shards: usize,
+) -> usize {
+    let want = match env {
+        Some(pinned) => pinned,
+        None => {
+            if requested > 0 {
+                requested.min(avail.max(1))
+            } else {
+                avail
+            }
+        }
+    };
+    want.clamp(1, shards.max(1))
 }
 
 /// Which event scheduler a simulation uses.
 ///
-/// Both variants dispatch events in the identical global order, so
+/// Every variant dispatches events in the identical global order, so
 /// switching the scheduler never changes a run's trace — only its
 /// throughput. `Global` is literally the 1-shard degenerate case of the
-/// sharded queue.
+/// sharded queue, and `Parallel` runs the same per-shard heaps on
+/// worker threads between conservative lookahead barriers.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
     /// One global heap (the 1-shard degenerate case).
     #[default]
     Global,
-    /// Per-shard heaps advanced under conservative lookahead. The
-    /// partition must cover exactly the simulation's nodes.
+    /// Per-shard heaps advanced under conservative lookahead,
+    /// single-threaded. The partition must cover exactly the
+    /// simulation's nodes.
     Sharded(Partition),
+    /// Per-shard heaps advanced on a worker-thread pool between
+    /// `d − U` lookahead barriers. The merged trace is byte-identical
+    /// to the other schedulers on every worker count.
+    Parallel {
+        /// Node → shard assignment; must cover exactly the
+        /// simulation's nodes.
+        partition: Partition,
+        /// Worker threads; `0` means auto (the [`WORKERS_ENV`]
+        /// environment variable, else available parallelism), always
+        /// capped at the shard count. See [`resolve_workers`].
+        workers: usize,
+    },
 }
 
-/// Total dispatch order: earliest time first, insertion order among
-/// equal times.
+/// Total dispatch order: earliest time first, tie-break among equal
+/// times. The tie is either an internal insertion sequence number (the
+/// [`ShardQueue`] convenience API) or an engine-supplied deterministic
+/// `(source, per-source counter)` encoding — the latter is what makes
+/// the dispatch order independent of how events raced across worker
+/// threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    time: SimTime,
-    seq: u64,
+pub(crate) struct Key {
+    pub(crate) time: SimTime,
+    pub(crate) tie: u128,
 }
 
 impl Key {
     /// Sentinel greater than every real key (empty-shard head).
-    fn max() -> Key {
+    pub(crate) fn max() -> Key {
         Key {
             time: SimTime::from_secs(f64::INFINITY),
-            seq: u64::MAX,
+            tie: u128::MAX,
         }
     }
 }
 
-struct Entry<T> {
-    key: Key,
-    payload: T,
+/// Deterministic tie for an event created by `node`: node events order
+/// by `(node, counter)` among equal times, after engine-global events.
+pub(crate) fn tie_for_node(node: NodeId, counter: u64) -> u128 {
+    ((node.index() as u128 + 1) << 64) | u128::from(counter)
+}
+
+/// Deterministic tie for an engine-global event (periodic samples):
+/// sorts before every node event at the same time, matching the serial
+/// engine's behaviour of arming the sample chain first.
+pub(crate) fn tie_for_engine(counter: u64) -> u128 {
+    u128::from(counter)
+}
+
+pub(crate) struct Entry<T> {
+    pub(crate) key: Key,
+    pub(crate) payload: T,
 }
 
 impl<T> PartialEq for Entry<T> {
@@ -192,15 +288,15 @@ impl<T> Ord for Entry<T> {
 
 /// One shard: a heap of accepted events plus an inbox of staged
 /// arrivals that are merged in bulk at the next pop.
-struct Shard<T> {
-    heap: BinaryHeap<Entry<T>>,
-    inbox: Vec<Entry<T>>,
+pub(crate) struct Shard<T> {
+    pub(crate) heap: BinaryHeap<Entry<T>>,
+    pub(crate) inbox: Vec<Entry<T>>,
     /// Smallest key in `inbox` (`Key::max()` when empty).
-    inbox_min: Key,
+    pub(crate) inbox_min: Key,
 }
 
 impl<T> Shard<T> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Shard {
             heap: BinaryHeap::new(),
             inbox: Vec::new(),
@@ -209,15 +305,32 @@ impl<T> Shard<T> {
     }
 
     /// Smallest key this shard could dispatch next.
-    fn head_key(&self) -> Key {
+    pub(crate) fn head_key(&self) -> Key {
         let heap_min = self.heap.peek().map_or_else(Key::max, |e| e.key);
         heap_min.min(self.inbox_min)
+    }
+
+    /// Stages one entry in the inbox.
+    pub(crate) fn stage(&mut self, entry: Entry<T>) {
+        if entry.key < self.inbox_min {
+            self.inbox_min = entry.key;
+        }
+        self.inbox.push(entry);
+    }
+
+    /// Pops the earliest event (merging the inbox first), or `None`
+    /// when the shard is empty.
+    pub(crate) fn pop_min(&mut self) -> Option<Entry<T>> {
+        if !self.inbox.is_empty() {
+            self.merge_inbox();
+        }
+        self.heap.pop()
     }
 
     /// Merges the inbox into the heap: one O(n+m) heapify when the
     /// batch is large relative to the heap (the k² pulse fan-out case),
     /// ordinary sifting pushes when it is small.
-    fn merge_inbox(&mut self) {
+    pub(crate) fn merge_inbox(&mut self) {
         if self.inbox.is_empty() {
             return;
         }
@@ -359,14 +472,23 @@ impl<T> ShardQueue<T> {
         self.stats
     }
 
+    /// Next internal tie value (insertion order) for the convenience
+    /// push API.
+    fn next_seq_tie(&mut self) -> u128 {
+        let tie = u128::from(self.seq);
+        self.seq += 1;
+        tie
+    }
+
     /// `true` to stage in the inbox (bulk-merged later), `false` for a
     /// direct sifting push into the selected shard's heap.
-    fn push_to_shard(&mut self, shard: usize, time: SimTime, payload: T, stage: bool) {
-        let key = Key {
-            time,
-            seq: self.seq,
-        };
-        self.seq += 1;
+    ///
+    /// The caller supplies the tie-break; ties must be unique per key
+    /// (the auto API uses an insertion counter, the engine a
+    /// `(source, counter)` encoding — the two must not be mixed on one
+    /// queue).
+    fn push_to_shard(&mut self, shard: usize, time: SimTime, tie: u128, payload: T, stage: bool) {
+        let key = Key { time, tie };
         if shard == self.selected && !stage {
             // Single event on the running shard: a direct heap push is
             // cheaper than staging one entry and merging it right back.
@@ -394,7 +516,7 @@ impl<T> ShardQueue<T> {
     }
 
     /// Enqueues a single event owned by `node` (dispatched on its
-    /// shard).
+    /// shard), tie-broken by insertion order.
     ///
     /// # Panics
     ///
@@ -402,7 +524,8 @@ impl<T> ShardQueue<T> {
     /// with.
     pub fn push_for(&mut self, node: NodeId, time: SimTime, payload: T) {
         let shard = self.shard_of[node.index()] as usize;
-        self.push_to_shard(shard, time, payload, false);
+        let tie = self.next_seq_tie();
+        self.push_to_shard(shard, time, tie, payload, false);
     }
 
     /// Enqueues one event of a fan-out batch (a broadcast's k messages):
@@ -415,13 +538,35 @@ impl<T> ShardQueue<T> {
     /// with.
     pub fn stage_for(&mut self, node: NodeId, time: SimTime, payload: T) {
         let shard = self.shard_of[node.index()] as usize;
-        self.push_to_shard(shard, time, payload, true);
+        let tie = self.next_seq_tie();
+        self.push_to_shard(shard, time, tie, payload, true);
     }
 
     /// Enqueues an engine-global event (samples); it is owned by shard
     /// 0 and still dispatched in global order.
     pub fn push_unowned(&mut self, time: SimTime, payload: T) {
-        self.push_to_shard(0, time, payload, false);
+        let tie = self.next_seq_tie();
+        self.push_to_shard(0, time, tie, payload, false);
+    }
+
+    /// Keyed variant of [`ShardQueue::push_for`]: the caller supplies
+    /// the tie-break (unique per queue). The engine uses this with its
+    /// deterministic `(source, counter)` ties so dispatch order is
+    /// identical across schedulers and thread counts.
+    pub(crate) fn push_for_keyed(&mut self, node: NodeId, time: SimTime, tie: u128, payload: T) {
+        let shard = self.shard_of[node.index()] as usize;
+        self.push_to_shard(shard, time, tie, payload, false);
+    }
+
+    /// Keyed variant of [`ShardQueue::stage_for`].
+    pub(crate) fn stage_for_keyed(&mut self, node: NodeId, time: SimTime, tie: u128, payload: T) {
+        let shard = self.shard_of[node.index()] as usize;
+        self.push_to_shard(shard, time, tie, payload, true);
+    }
+
+    /// Keyed variant of [`ShardQueue::push_unowned`].
+    pub(crate) fn push_unowned_keyed(&mut self, time: SimTime, tie: u128, payload: T) {
+        self.push_to_shard(0, time, tie, payload, false);
     }
 
     /// Recomputes the selected shard (global head-key minimum) and the
@@ -503,6 +648,13 @@ impl<T> ShardQueue<T> {
 
     /// Pops the globally earliest event if its time is at most `until`.
     pub fn pop_before(&mut self, until: SimTime) -> Option<(SimTime, T)> {
+        self.pop_before_keyed(until).map(|(key, p)| (key.time, p))
+    }
+
+    /// Like [`ShardQueue::pop_before`], but returns the full dispatch
+    /// key (the engine threads it into row tagging so serial and
+    /// relaxed trace modes agree on event identity).
+    pub(crate) fn pop_before_keyed(&mut self, until: SimTime) -> Option<(Key, T)> {
         let key = self.peek_key()?;
         if key.time > until {
             return None;
@@ -515,7 +667,7 @@ impl<T> ShardQueue<T> {
         let e = s.heap.pop().expect("peeked key implies a queued event");
         debug_assert_eq!(e.key, key, "shard head changed between peek and pop");
         self.len -= 1;
-        Some((e.key.time, e.payload))
+        Some((e.key, e.payload))
     }
 }
 
@@ -563,6 +715,23 @@ mod tests {
     #[should_panic(expected = "block size")]
     fn zero_block_rejected() {
         let _ = Partition::by_blocks(4, 0);
+    }
+
+    #[test]
+    fn worker_resolution_precedence() {
+        // Env pin wins over everything, capped only at the shard count.
+        assert_eq!(resolve_workers_from(4, Some(2), 16, 64), 2);
+        assert_eq!(resolve_workers_from(0, Some(8), 1, 64), 8);
+        assert_eq!(resolve_workers_from(0, Some(100), 4, 16), 16);
+        // Explicit request, capped at cores and shards.
+        assert_eq!(resolve_workers_from(4, None, 16, 64), 4);
+        assert_eq!(resolve_workers_from(8, None, 2, 64), 2);
+        assert_eq!(resolve_workers_from(8, None, 16, 3), 3);
+        // Auto: available parallelism, capped at shards.
+        assert_eq!(resolve_workers_from(0, None, 16, 64), 16);
+        assert_eq!(resolve_workers_from(0, None, 16, 4), 4);
+        // Degenerate inputs still yield at least one worker.
+        assert_eq!(resolve_workers_from(0, None, 0, 0), 1);
     }
 
     #[test]

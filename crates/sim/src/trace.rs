@@ -102,6 +102,20 @@ impl Trace {
         buf
     }
 
+    /// Whether two traces serialize to identical bytes
+    /// ([`Trace::to_bytes`]).
+    ///
+    /// This is *the* equivalence the determinism and scheduler
+    /// differential suites assert. Relaxed-ordering runs (the parallel
+    /// scheduler) merge their per-shard row buffers back into global
+    /// `(time, key)` order before the trace is observable, so the same
+    /// comparison covers strict and relaxed traces without separate
+    /// assertions.
+    #[must_use]
+    pub fn byte_identical(&self, other: &Trace) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
     /// Writes the clock samples as CSV (`t,node0,node1,...`) to `out`.
     ///
     /// # Errors

@@ -1,14 +1,22 @@
-//! Differential test: the sharded scheduler is **byte-identical** to the
-//! global heap.
+//! Differential test: the sharded **and parallel** schedulers are
+//! **byte-identical** to the global heap.
 //!
 //! For a matrix of seeds × topologies (clique, line, NoC grid,
 //! adversarial hub) the same workload runs once per scheduler — the
-//! 1-shard global heap, an even split, a one-shard-per-cluster split,
-//! and a ragged split — and every run must produce the same trace
-//! byte-for-byte and the same work counters. This extends the
-//! determinism tests (`tests/determinism.rs`): determinism pins a run
-//! to its `(seed, config)`; this test pins it across *schedulers*, the
-//! invariant that makes deep engine refactors safe to land.
+//! 1-shard global heap, an even split, a one-shard-per-cluster split, a
+//! ragged split, and the parallel executor across several worker
+//! counts — and every run must produce the same trace byte-for-byte
+//! and the same work counters. This extends the determinism tests
+//! (`tests/determinism.rs`): determinism pins a run to its
+//! `(seed, config)`; this test pins it across *schedulers and thread
+//! counts*, the invariant that makes deep engine refactors safe to
+//! land.
+//!
+//! All axes funnel through one [`assert_equivalent`] helper: strict
+//! in-order runs append rows at dispatch, relaxed-ordering (parallel)
+//! runs merge their per-shard buffers back into `(time, key)` order
+//! before the trace is observable — so a single merge-then-compare
+//! byte-identity assertion covers both modes.
 
 use ftgcs_sim::clock::RateModel;
 use ftgcs_sim::engine::{Ctx, SimBuilder, SimConfig, SimStats, Simulation};
@@ -171,31 +179,94 @@ fn partitions(n: usize) -> Vec<(&'static str, Partition)> {
     ]
 }
 
+/// The parallel-executor axis: partition × worker-count pairs, zipped
+/// to keep the matrix affordable while covering even, fine, ragged, and
+/// auto (`0` = `FTGCS_WORKERS` / available parallelism) configurations.
+fn parallel_axes(n: usize) -> Vec<(String, SchedulerKind)> {
+    let mut axes = Vec::new();
+    for ((name, partition), workers) in partitions(n).into_iter().zip([1usize, 2, 4, 0]) {
+        axes.push((
+            format!("parallel/{name}/w{workers}"),
+            SchedulerKind::Parallel { partition, workers },
+        ));
+    }
+    axes
+}
+
+/// The single comparison point for every scheduler axis (strict *and*
+/// relaxed trace ordering): same work counters, byte-identical merged
+/// trace.
+fn assert_equivalent(label: &str, reference: &(Trace, SimStats), candidate: &(Trace, SimStats)) {
+    assert_eq!(candidate.1, reference.1, "{label}: work counters diverged");
+    assert!(
+        candidate.0.byte_identical(&reference.0),
+        "{label}: trace diverged from the global heap"
+    );
+}
+
 #[test]
 fn sharded_and_global_schedulers_are_byte_identical() {
     let n = 16;
     for topology in ["clique", "line", "grid", "hub"] {
         for seed in [1u64, 42, 1729] {
-            let (reference_trace, reference_stats) = run(topology, n, seed, SchedulerKind::Global);
+            let reference = run(topology, n, seed, SchedulerKind::Global);
             assert!(
-                !reference_trace.rows.is_empty() && !reference_trace.samples.is_empty(),
+                !reference.0.rows.is_empty() && !reference.0.samples.is_empty(),
                 "{topology}/seed {seed}: reference trace must be non-trivial"
             );
-            let reference = reference_trace.to_bytes();
             for (name, partition) in partitions(n) {
-                let (trace, stats) = run(topology, n, seed, SchedulerKind::Sharded(partition));
-                assert_eq!(
-                    stats, reference_stats,
-                    "{topology}/seed {seed}/{name}: work counters diverged"
-                );
-                assert_eq!(
-                    trace.to_bytes(),
-                    reference,
-                    "{topology}/seed {seed}/{name}: sharded trace diverged \
-                     from the global heap"
+                let candidate = run(topology, n, seed, SchedulerKind::Sharded(partition));
+                assert_equivalent(
+                    &format!("{topology}/seed {seed}/{name}"),
+                    &reference,
+                    &candidate,
                 );
             }
         }
+    }
+}
+
+#[test]
+fn parallel_executor_is_byte_identical_on_every_worker_count() {
+    let n = 16;
+    for topology in ["clique", "line", "grid", "hub"] {
+        for seed in [1u64, 42] {
+            let reference = run(topology, n, seed, SchedulerKind::Global);
+            for (name, scheduler) in parallel_axes(n) {
+                let candidate = run(topology, n, seed, scheduler);
+                assert_equivalent(
+                    &format!("{topology}/seed {seed}/{name}"),
+                    &reference,
+                    &candidate,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_executor_is_stable_across_repeated_runs() {
+    // Scheduling races are flaky by nature: one green run proves little.
+    // Re-run the same seed 20× while cycling the thread count and demand
+    // the identical final trace every time — a loom-free stress test of
+    // the barrier protocol.
+    let reference = run("grid", 16, 7, SchedulerKind::Global);
+    for rep in 0..20u32 {
+        let workers = [1usize, 2, 4][rep as usize % 3];
+        let candidate = run(
+            "grid",
+            16,
+            7,
+            SchedulerKind::Parallel {
+                partition: Partition::by_blocks(16, 4),
+                workers,
+            },
+        );
+        assert_equivalent(
+            &format!("stress rep {rep} (w{workers})"),
+            &reference,
+            &candidate,
+        );
     }
 }
 
@@ -231,4 +302,15 @@ fn mid_run_reconfiguration_stays_equivalent() {
     let (sharded, ss) = drive(SchedulerKind::Sharded(Partition::by_blocks(8, 2)));
     assert_eq!(gs, ss);
     assert_eq!(global, sharded, "mid-run reconfiguration broke equivalence");
+    for workers in [1usize, 2] {
+        let (parallel, ps) = drive(SchedulerKind::Parallel {
+            partition: Partition::by_blocks(8, 2),
+            workers,
+        });
+        assert_eq!(gs, ps, "w{workers}: work counters diverged");
+        assert_eq!(
+            global, parallel,
+            "mid-run reconfiguration broke the parallel executor (w{workers})"
+        );
+    }
 }

@@ -15,9 +15,8 @@
 //!    timer double-fires, however many generation-bumping rate changes
 //!    and track jumps interleave with the cancellations.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ftgcs_sim::clock::RateModel;
 use ftgcs_sim::engine::{Ctx, SimBuilder, SimConfig};
@@ -98,7 +97,7 @@ struct DeliveryLog {
 /// behavior is the omniscient-observer convention used by trace
 /// recorders; here it measures the network itself.)
 struct Beacon {
-    log: Rc<RefCell<DeliveryLog>>,
+    log: Arc<Mutex<DeliveryLog>>,
 }
 
 impl Behavior<f64> for Beacon {
@@ -112,7 +111,7 @@ impl Behavior<f64> for Beacon {
         ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(0));
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_, f64>, from: NodeId, msg: &f64) {
-        self.log.borrow_mut().deliveries.push((
+        self.log.lock().unwrap().deliveries.push((
             from.index(),
             ctx.my_id().index(),
             *msg,
@@ -153,10 +152,10 @@ proptest! {
             sample_interval: None,
             scheduler: SchedulerKind::Sharded(partition.clone()),
         };
-        let log = Rc::new(RefCell::new(DeliveryLog::default()));
+        let log = Arc::new(Mutex::new(DeliveryLog::default()));
         let mut b = SimBuilder::new(config);
         let ids: Vec<NodeId> = (0..nodes)
-            .map(|_| b.add_node(Box::new(Beacon { log: Rc::clone(&log) })))
+            .map(|_| b.add_node(Box::new(Beacon { log: Arc::clone(&log) })))
             .collect();
         // Ring plus one long chord: guarantees cross-shard edges for
         // every block size > 0.
@@ -168,7 +167,7 @@ proptest! {
         }
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(0.5));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         prop_assert!(!log.deliveries.is_empty(), "workload delivered nothing");
         let mut cross_shard = 0usize;
         // Deliveries are logged in dispatch order; a scheduler that let
@@ -229,7 +228,7 @@ struct Scripted {
     /// cancel — the epoch in [`TimerId`] must make it a no-op even
     /// when the engine has reused the slot for a later timer.
     retired: Vec<(u64, TimerId)>,
-    log: Rc<RefCell<TimerLog>>,
+    log: Arc<Mutex<TimerLog>>,
 }
 
 const TICK: f64 = 0.05;
@@ -241,7 +240,7 @@ impl Behavior<()> for Scripted {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
         if tag.kind == 1 {
-            let mut log = self.log.borrow_mut();
+            let mut log = self.log.lock().unwrap();
             log.fired.push(tag.b);
             log.still_pending.remove(&tag.b);
             drop(log);
@@ -261,7 +260,7 @@ impl Behavior<()> for Scripted {
                     let id =
                         ctx.set_timer_at(TrackId::MAIN, target, TimerTag::new(1).with_b(token));
                     self.pending.push((token, id));
-                    let mut log = self.log.borrow_mut();
+                    let mut log = self.log.lock().unwrap();
                     log.next_token = self.next_token;
                     log.still_pending.insert(token);
                 }
@@ -275,7 +274,7 @@ impl Behavior<()> for Scripted {
                                 % self.pending.len();
                             let (token, id) = self.pending.swap_remove(idx);
                             ctx.cancel_timer(id);
-                            let mut log = self.log.borrow_mut();
+                            let mut log = self.log.lock().unwrap();
                             log.cancelled.insert(token);
                             log.still_pending.remove(&token);
                         }
@@ -306,7 +305,7 @@ proptest! {
         ops in prop::collection::vec((0u8..4, 0.0f64..1.0), 1..48),
     ) {
         let horizon = 4.0 * TICK * (ops.len() as f64 + 4.0);
-        let log = Rc::new(RefCell::new(TimerLog::default()));
+        let log = Arc::new(Mutex::new(TimerLog::default()));
         let config = SimConfig {
             rho: 1e-4,
             seed: 13,
@@ -319,11 +318,11 @@ proptest! {
             next_token: 0,
             pending: Vec::new(),
             retired: Vec::new(),
-            log: Rc::clone(&log),
+            log: Arc::clone(&log),
         }));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(horizon));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         for token in &log.fired {
             prop_assert!(
                 !log.cancelled.contains(token),
