@@ -1,83 +1,19 @@
-//! **F1 — Cluster convergence** (Proposition B.14, Corollary 3.2).
-//!
-//! A single cluster started with spread-out clocks converges
-//! geometrically: the per-round pulse diameter `‖p(r)‖` follows the
-//! recursion `e(r+1) = α·e(r) + β` down to the steady state
-//! `E = β/(1−α)`, and the logical-clock skew stays below `2·ϑ_g·E`.
-//!
-//! This binary runs one cluster for each `f ∈ {0, 1, 2}` (with
-//! `k = 3f+1`), injects an initial offset spread of `E` (the largest
-//! spread the analysis admits), and prints measured `‖p(r)‖` per round
-//! next to the theory curve.
+//! Thin wrapper: feeds the checked-in `experiments/f1_cluster_convergence.spec`
+//! through the shared `xp` driver ([`ftgcs_bench::driver`]), so this
+//! binary and `xp run experiments/f1_cluster_convergence.spec`
+//! emit byte-identical output by construction.
 //!
 //! ```sh
 //! cargo run -p ftgcs-bench --release --bin f1_cluster_convergence
 //! ```
 
-use ftgcs::cluster::ROW_PULSE;
-use ftgcs::runner::Scenario;
-use ftgcs_bench::{default_params, emit_table};
-use ftgcs_metrics::skew::{intra_cluster_skew_series, pulse_diameters, FaultMask};
-use ftgcs_metrics::table::Table;
-use ftgcs_topology::{generators, ClusterGraph};
-
-const ROUNDS_SHOWN: usize = 12;
-
 fn main() {
-    println!("F1: single-cluster pulse-diameter convergence vs theory\n");
-    let mut table = Table::new(&[
-        "f",
-        "k",
-        "round",
-        "measured |p(r)| (s)",
-        "theory e(r) (s)",
-        "steady E (s)",
-    ]);
-    for f in [0usize, 1, 2] {
-        let params = default_params(f);
-        let cg = ClusterGraph::new(generators::line(1), params.cluster_size, f);
-        let mut scenario = Scenario::new(cg.clone(), params.clone());
-        scenario
-            .seed(11 + f as u64)
-            .initial_offset_spread(params.e)
-            .max_estimator(false);
-        let run = scenario.run_for((ROUNDS_SHOWN as f64 + 3.0) * params.t_round);
-
-        let mask = FaultMask::from_nodes(cg.physical().node_count(), &run.faulty);
-        let diam = pulse_diameters(&run.trace, &cg, &mask, ROW_PULSE);
-        let theory = params.error_recursion(params.e, ROUNDS_SHOWN);
-
-        for (r, e_theory) in theory.iter().enumerate() {
-            let measured = diam[0].get(r).copied().flatten().unwrap_or(f64::NAN);
-            table.row(&[
-                f.to_string(),
-                params.cluster_size.to_string(),
-                (r + 1).to_string(),
-                format!("{measured:.3e}"),
-                format!("{e_theory:.3e}"),
-                format!("{:.3e}", params.e),
-            ]);
-            // Shape check: measurements must respect the theory bound.
-            if measured.is_finite() {
-                assert!(
-                    measured <= *e_theory * 1.0001,
-                    "round {} diameter {measured} exceeds theory {e_theory}",
-                    r + 1
-                );
-            }
-        }
-
-        // Corollary 3.2: skew below 2*theta_g*E at all times.
-        let skew = intra_cluster_skew_series(&run.trace, &cg, &mask);
-        let bound = params.intra_cluster_skew_bound();
-        let max_skew = skew.max().unwrap_or(0.0);
-        println!(
-            "f = {f}: max intra-cluster skew {max_skew:.3e} s <= bound {bound:.3e} s : {}",
-            if max_skew <= bound { "OK" } else { "VIOLATED" }
-        );
-        assert!(max_skew <= bound, "Corollary 3.2 violated for f = {f}");
-    }
-    println!();
-    emit_table("f1_cluster_convergence", &table);
-    println!("\nshape: measured diameters sit below the geometric theory curve and flatten at E.");
+    ftgcs_bench::driver::run_text(
+        "experiments/f1_cluster_convergence.spec",
+        include_str!("../../../../experiments/f1_cluster_convergence.spec"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
 }

@@ -1,154 +1,19 @@
-//! **F2 — Local skew vs diameter: FTGCS vs master/slave vs free-run**
-//! (Theorem 1.1; §1 "compress the full global skew onto a single edge").
-//!
-//! The adversary schedule is the classic one for master/slave
-//! synchronization: run with *maximal* delays long enough for the tree
-//! to settle into its stretched steady state (every hop lags `U/2`
-//! beyond the compensation), then switch to *minimal* delays. The next
-//! beacon wave then jumps node `j` forward by `≈ j·U`, and while the
-//! wavefront passes, that entire correction sits across a single edge:
-//! the tree's local skew is `Θ(D·U)` — linear in the diameter.
-//!
-//! FTGCS under the *same* schedule keeps the local skew bounded by the
-//! `O((ρd+U)·log D)` curve of Theorem 1.1: rate-based corrections never
-//! jump, and the trigger slack `δ` absorbs the delay-regime switch.
-//!
-//! Absolute numbers cross over: fault tolerance costs FTGCS a constant
-//! factor `Θ(1/ρ)·U` in `κ`, so on *short* lines the tree looks better;
-//! by `D ≈ 512` the linear tree term overtakes. Both shapes — linear vs
-//! near-flat — are asserted, as is the crossover.
+//! Thin wrapper: feeds the checked-in `experiments/f2_local_skew_vs_diameter.spec`
+//! through the shared `xp` driver ([`ftgcs_bench::driver`]), so this
+//! binary and `xp run experiments/f2_local_skew_vs_diameter.spec`
+//! emit byte-identical output by construction.
 //!
 //! ```sh
 //! cargo run -p ftgcs-bench --release --bin f2_local_skew_vs_diameter
 //! ```
 
-use ftgcs::runner::Scenario;
-use ftgcs_baselines::{build_free_run_sim, build_tree_sim, Correction, ROW_TREE_JUMP};
-use ftgcs_bench::{default_params, emit_table, measure_skews, warmup, DEFAULT_ENV};
-use ftgcs_metrics::skew::{local_skew_series, FaultMask};
-use ftgcs_metrics::table::Table;
-use ftgcs_sim::clock::RateModel;
-use ftgcs_sim::engine::SimConfig;
-use ftgcs_sim::network::{DelayConfig, DelayDistribution};
-use ftgcs_sim::time::{SimDuration, SimTime};
-use ftgcs_topology::{generators, ClusterGraph, Graph};
-
-/// Beacon period of the tree baseline (seconds).
-const BEACON: f64 = 5.0;
-/// Stretch phase length (maximal delays), then compress phase.
-const STRETCH: f64 = 25.0;
-const COMPRESS: f64 = 15.0;
-
-fn baseline_config(seed: u64) -> SimConfig {
-    let (rho, d, u) = DEFAULT_ENV;
-    SimConfig {
-        delay: DelayConfig::new(
-            SimDuration::from_secs(d),
-            SimDuration::from_secs(u),
-            DelayDistribution::Maximal,
-        ),
-        rho,
-        rate_model: RateModel::RandomConstant,
-        seed,
-        sample_interval: Some(SimDuration::from_millis(20.0)),
-        ..SimConfig::default()
-    }
-}
-
-/// Runs the tree under stretch→compress and returns the worst post-switch
-/// correction jump — the skew the wavefront carries across one edge.
-fn run_tree(g: &Graph, seed: u64) -> f64 {
-    let mut sim = build_tree_sim(g, 0, baseline_config(seed), BEACON, Correction::Jump);
-    sim.run_until(SimTime::from_secs(STRETCH));
-    sim.set_delay_distribution(DelayDistribution::Minimal);
-    sim.run_until(SimTime::from_secs(STRETCH + COMPRESS));
-    sim.trace()
-        .rows_of_kind(ROW_TREE_JUMP)
-        .filter(|r| r.t.as_secs() > STRETCH)
-        .map(|r| r.values[0])
-        .fold(0.0, f64::max)
-}
-
-fn run_free(g: &Graph, seed: u64) -> f64 {
-    let mut sim = build_free_run_sim(g, baseline_config(seed));
-    sim.run_until(SimTime::from_secs(STRETCH + COMPRESS));
-    let mask = FaultMask::none(g.node_count());
-    local_skew_series(sim.trace(), g, &mask)
-        .after(1.0)
-        .max()
-        .unwrap_or(0.0)
-}
-
-fn run_ftgcs(base: &Graph, seed: u64) -> (f64, f64) {
-    let params = default_params(1);
-    let cg = ClusterGraph::new(base.clone(), params.cluster_size, params.f);
-    let mut scenario = Scenario::new(cg.clone(), params.clone());
-    scenario.seed(seed);
-    let mut sim = scenario.build();
-    sim.run_until(SimTime::from_secs(STRETCH));
-    sim.set_delay_distribution(DelayDistribution::Minimal);
-    sim.run_until(SimTime::from_secs(STRETCH + COMPRESS));
-    let run = ftgcs::runner::ScenarioRun {
-        faulty: Vec::new(),
-        stats: sim.stats(),
-        trace: sim.into_trace(),
-    };
-    let skews = measure_skews(&run, &cg, warmup(&params));
-    (skews.local, params.local_skew_bound(base.node_count() - 1))
-}
-
 fn main() {
-    println!("F2: worst local skew vs diameter under the stretch->compress schedule\n");
-    let mut table = Table::new(&[
-        "D",
-        "ftgcs local (s)",
-        "ftgcs bound (s)",
-        "tree wavefront (s)",
-        "tree theory D*U (s)",
-        "free-run local (s)",
-    ]);
-    let (_, _, u) = DEFAULT_ENV;
-    let mut ftgcs_curve = Vec::new();
-    let mut tree_curve = Vec::new();
-
-    for diameter in [8usize, 32, 128, 512] {
-        let base = generators::line(diameter + 1);
-        let tree = run_tree(&base, 17 + diameter as u64);
-        let free = run_free(&base, 18 + diameter as u64);
-        let (ftgcs_local, bound) = run_ftgcs(&base, diameter as u64);
-        ftgcs_curve.push((diameter as f64, ftgcs_local));
-        tree_curve.push((diameter as f64, tree));
-        table.row(&[
-            diameter.to_string(),
-            format!("{ftgcs_local:.3e}"),
-            format!("{bound:.3e}"),
-            format!("{tree:.3e}"),
-            format!("{:.3e}", diameter as f64 * u),
-            format!("{free:.3e}"),
-        ]);
-        assert!(
-            ftgcs_local <= bound,
-            "FTGCS exceeded the Theorem 1.1 bound at D = {diameter}"
-        );
-    }
-    emit_table("f2_local_skew_vs_diameter", &table);
-
-    // Shape assertions: tree grows ~linearly (x64 diameter ⇒ ≥ x16
-    // wavefront even with slack), FTGCS stays near-flat (≤ x4 over the
-    // same range), and the curves cross before D = 512.
-    let tree_growth = tree_curve[3].1 / tree_curve[0].1;
-    let ftgcs_growth = ftgcs_curve[3].1 / ftgcs_curve[0].1;
-    println!("\ngrowth D=8 -> D=512: tree x{tree_growth:.1}, ftgcs x{ftgcs_growth:.2}");
-    assert!(
-        tree_growth >= 16.0,
-        "tree wavefront should grow ~linearly in D"
-    );
-    assert!(ftgcs_growth <= 4.0, "ftgcs local skew should be near-flat");
-    assert!(
-        tree_curve[3].1 > ftgcs_curve[3].1,
-        "by D = 512 the tree's linear term must dwarf FTGCS"
-    );
-    println!("shape: master/slave compresses Theta(D*U) onto one edge and loses at every");
-    println!("measured D under this adversary; the gap widens linearly with the diameter,");
-    println!("exactly the asymptotic separation Theorem 1.1 claims.");
+    ftgcs_bench::driver::run_text(
+        "experiments/f2_local_skew_vs_diameter.spec",
+        include_str!("../../../../experiments/f2_local_skew_vs_diameter.spec"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
 }

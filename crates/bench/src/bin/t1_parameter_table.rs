@@ -1,103 +1,19 @@
-//! **T1 — Parameter feasibility and derived constants** (Eqs. 5, 10, 11).
-//!
-//! For a grid of network characteristics `(ρ, d, U)` this prints the
-//! derived algorithm constants — `µ`, `ϕ`, steady-state pulse diameter
-//! `E`, round length `T`, trigger slack `δ`, step `κ`, contraction
-//! factor `α` — and the predicted skew bounds. A final section evaluates
-//! the paper's *exact* constants (`c₂ = 32`, `ε = 1/4096`), showing how
-//! small `ρ` must be before they contract (≈ `2·10⁻⁶`).
+//! Thin wrapper: feeds the checked-in `experiments/t1_parameter_table.spec`
+//! through the shared `xp` driver ([`ftgcs_bench::driver`]), so this
+//! binary and `xp run experiments/t1_parameter_table.spec`
+//! emit byte-identical output by construction.
 //!
 //! ```sh
 //! cargo run -p ftgcs-bench --release --bin t1_parameter_table
 //! ```
 
-use ftgcs::params::Params;
-use ftgcs_bench::emit_table;
-use ftgcs_metrics::table::Table;
-
 fn main() {
-    println!("T1: derived parameters across network characteristics (f = 1)\n");
-    let mut table = Table::new(&[
-        "rho",
-        "d (s)",
-        "U (s)",
-        "mu",
-        "phi",
-        "alpha",
-        "E (s)",
-        "T (s)",
-        "delta (s)",
-        "kappa (s)",
-        "intra bound (s)",
-        "local bound D=8 (s)",
-    ]);
-
-    let envs = [
-        (1e-4, 1e-3, 1e-4), // default LAN-ish
-        (1e-4, 1e-3, 1e-5), // tighter jitter
-        (1e-5, 1e-3, 1e-4), // better crystal
-        (1e-5, 1e-8, 1e-9), // on-chip
-        (1e-6, 1e-4, 1e-5), // datacenter
-        (5e-4, 1e-2, 1e-3), // WAN-ish, large drift
-    ];
-    for &(rho, d, u) in &envs {
-        match Params::practical(rho, d, u, 1) {
-            Ok(p) => table.row(&[
-                format!("{rho:.0e}"),
-                format!("{d:.0e}"),
-                format!("{u:.0e}"),
-                format!("{:.3e}", p.mu),
-                format!("{:.3e}", p.phi),
-                format!("{:.4}", p.alpha),
-                format!("{:.3e}", p.e),
-                format!("{:.3e}", p.t_round),
-                format!("{:.3e}", p.delta),
-                format!("{:.3e}", p.kappa),
-                format!("{:.3e}", p.intra_cluster_skew_bound()),
-                format!("{:.3e}", p.local_skew_bound(8)),
-            ]),
-            Err(e) => table.row(&[
-                format!("{rho:.0e}"),
-                format!("{d:.0e}"),
-                format!("{u:.0e}"),
-                format!("infeasible: {e}"),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-            ]),
-        }
-    }
-    emit_table("t1_parameter_table", &table);
-
-    println!("\npaper-exact constants (c2 = 32, eps = 1/4096): feasibility threshold in rho");
-    let mut paper_table = Table::new(&["rho", "feasible", "alpha", "E (s)"]);
-    for &rho in &[1e-4, 1e-5, 5e-6, 2e-6, 1e-6, 1e-7] {
-        match Params::paper(rho, 1e-3, 1e-4, 1) {
-            Ok(p) => paper_table.row(&[
-                format!("{rho:.0e}"),
-                "yes".into(),
-                format!("{:.5}", p.alpha),
-                format!("{:.3e}", p.e),
-            ]),
-            Err(_) => paper_table.row(&[
-                format!("{rho:.0e}"),
-                "no (alpha >= 1)".into(),
-                String::new(),
-                String::new(),
-            ]),
-        }
-    }
-    emit_table("t1_paper_exact", &paper_table);
-
-    // Structural sanity of Eq. 10 at the default point.
-    let p = Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap();
-    assert!((p.kappa - 3.0 * p.delta).abs() < 1e-12, "kappa = 3*delta");
-    assert!(p.tau3 > p.tau1 + p.tau2, "round dominated by phase 3");
-    assert!(p.alpha < 1.0);
-    println!("\nE scales like O(rho*d + U): compare rows 1-2 (U /= 10) and 1-3 (rho /= 10).");
+    ftgcs_bench::driver::run_text(
+        "experiments/t1_parameter_table.spec",
+        include_str!("../../../../experiments/t1_parameter_table.spec"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
 }

@@ -1,157 +1,19 @@
-//! **T3 — Amortized rates of unanimous clusters** (Lemma 3.6,
-//! Corollary 4.7).
-//!
-//! The gradient layer only works because a cluster that has been
-//! unanimously fast for `k` rounds gains an amortized rate of at least
-//! `(1+ϕ)(1+⅞µ)`, while an unanimously slow cluster stays within
-//! `(1+ϕ)(1±⅛µ)`. This binary injects inter-cluster skew on a 2-cluster
-//! line (so one cluster triggers fast, the other slow), extracts each
-//! node's per-round amortized rate `ΔL_v/Δt` from the mode-decision
-//! rows, and checks the Lemma 3.6 windows after `k` unanimous rounds.
+//! Thin wrapper: feeds the checked-in `experiments/t3_unanimous_rates.spec`
+//! through the shared `xp` driver ([`ftgcs_bench::driver`]), so this
+//! binary and `xp run experiments/t3_unanimous_rates.spec`
+//! emit byte-identical output by construction.
 //!
 //! ```sh
 //! cargo run -p ftgcs-bench --release --bin t3_unanimous_rates
 //! ```
 
-use std::collections::BTreeMap;
-
-use ftgcs::node::ROW_MODE;
-use ftgcs::runner::Scenario;
-use ftgcs_bench::{default_params, emit_table};
-use ftgcs_metrics::stats::Summary;
-use ftgcs_metrics::table::Table;
-use ftgcs_topology::{generators, ClusterGraph};
-
-/// Per-round observation reconstructed from a node's mode rows.
-#[derive(Debug, Clone, Copy)]
-struct RoundObs {
-    gamma: bool,
-    rate: f64,
-}
-
 fn main() {
-    println!("T3: amortized per-round rates in unanimous fast/slow clusters\n");
-    let params = default_params(1);
-    let cg = ClusterGraph::new(generators::line(2), params.cluster_size, params.f);
-    let mut scenario = Scenario::new(cg.clone(), params.clone());
-    // Cluster 1 starts ahead by 2.5κ — above the FT engagement threshold
-    // 2κ−δ — so cluster 0 satisfies the fast condition and cluster 1 the
-    // slow condition for the tens of rounds it takes the gap to close to
-    // the threshold. That window supplies the unanimous fast/slow rounds
-    // Lemma 3.6 speaks about.
-    scenario.seed(21).cluster_offset(1, 2.5 * params.kappa);
-    let horizon = 2.5 * params.kappa / (params.mu / 4.0) + 20.0 * params.t_round;
-    let run = scenario.run_for(horizon);
-
-    // node -> round -> (t, L, gamma).
-    let mut per_node: BTreeMap<usize, Vec<(f64, f64, bool)>> = BTreeMap::new();
-    for row in run.trace.rows_of_kind(ROW_MODE) {
-        // values = [cluster, round, gamma, ft, st, own_logical, max_est]
-        per_node.entry(row.node.index()).or_default().push((
-            row.t.as_secs(),
-            row.values[5],
-            row.values[2] > 0.5,
-        ));
-    }
-
-    // Build per-node per-round amortized rates.
-    let mut fast_rates = Vec::new();
-    let mut slow_rates = Vec::new();
-    let k_needed = params.k_rounds;
-    for rows in per_node.values() {
-        let mut obs: Vec<RoundObs> = Vec::new();
-        for pair in rows.windows(2) {
-            let (t0, l0, gamma) = pair[0];
-            let (t1, l1, _) = pair[1];
-            if t1 > t0 {
-                obs.push(RoundObs {
-                    gamma,
-                    rate: (l1 - l0) / (t1 - t0),
-                });
-            }
-        }
-        // A round counts as "unanimous fast/slow for k rounds" if this
-        // node's own mode was stable for the k preceding rounds. (With
-        // per-cluster offsets and no faults, triggers fire cluster-wide;
-        // the t6 audit checks unanimity explicitly.) The first dozen
-        // rounds are excluded: Lemma 3.6 presupposes e(r−k) ≤ 2e∞, which
-        // the offset-injection transient violates.
-        let first_eligible = (k_needed + 12).min(obs.len());
-        for i in first_eligible..obs.len() {
-            let window = &obs[i - k_needed..=i];
-            if window.iter().all(|o| o.gamma) {
-                fast_rates.push(obs[i].rate);
-            } else if window.iter().all(|o| !o.gamma) {
-                slow_rates.push(obs[i].rate);
-            }
-        }
-    }
-
-    let (fast_min, slow_min, slow_max) = params.unanimous_rate_bounds();
-    let fast = Summary::of(&fast_rates);
-    let slow = Summary::of(&slow_rates);
-
-    let mut table = Table::new(&[
-        "mode",
-        "rounds",
-        "rate min",
-        "rate mean",
-        "rate max",
-        "lemma 3.6 window",
-    ]);
-    table.row(&[
-        "fast (k unanimous)".into(),
-        fast_rates.len().to_string(),
-        format!("{:.6}", fast.min),
-        format!("{:.6}", fast.mean),
-        format!("{:.6}", fast.max),
-        format!(">= {fast_min:.6}"),
-    ]);
-    table.row(&[
-        "slow (k unanimous)".into(),
-        slow_rates.len().to_string(),
-        format!("{:.6}", slow.min),
-        format!("{:.6}", slow.mean),
-        format!("{:.6}", slow.max),
-        format!("[{slow_min:.6}, {slow_max:.6}]"),
-    ]);
-    emit_table("t3_unanimous_rates", &table);
-
-    assert!(
-        !fast_rates.is_empty() && !slow_rates.is_empty(),
-        "scenario failed to produce unanimous rounds"
-    );
-    assert!(
-        fast.min >= fast_min,
-        "fast amortized rate {:.6} below Lemma 3.6 part 1 bound {fast_min:.6}",
-        fast.min
-    );
-    // The exact ±µ/8 window is proved for the paper's ε = 1/4096 (Claim
-    // B.17), which requires ρ ≲ 2e-6. Params::practical uses ε = 0.1, so
-    // the steady-state ratio e∞_s/e∞_g is larger and the formal window
-    // widens slightly; we allow µ/64 of slack and report the excess.
-    let tol = params.mu / 64.0;
-    if slow.max > slow_max {
-        println!(
-            "note: slow max exceeds the paper window by {:.1e} (practical-epsilon slack, < mu/64 = {:.1e})",
-            slow.max - slow_max, tol
-        );
-    }
-    assert!(
-        slow.min >= slow_min - tol && slow.max <= slow_max + tol,
-        "slow amortized rates [{:.6}, {:.6}] outside Lemma 3.6 part 2 window even with practical-epsilon slack",
-        slow.min,
-        slow.max
-    );
-    // The separation that makes GCS work: slowest fast round beats the
-    // fastest slow round.
-    assert!(
-        fast.min > slow.max,
-        "fast clusters must outrun slow clusters"
-    );
-    println!(
-        "\nfast clusters outrun slow clusters by a margin of {:.2e} in rate —",
-        fast.min - slow.max
-    );
-    println!("exactly the gap Corollary 4.7 feeds into the GCS black box.");
+    ftgcs_bench::driver::run_text(
+        "experiments/t3_unanimous_rates.spec",
+        include_str!("../../../../experiments/t3_unanimous_rates.spec"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
 }

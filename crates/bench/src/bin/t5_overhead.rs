@@ -1,75 +1,19 @@
-//! **T5 — Augmentation overhead** (Theorem 1.1: `O(f)` node and `O(f²)`
-//! edge overhead).
-//!
-//! The construction replaces each node of `G` by `k = 3f+1` nodes and
-//! each edge by `k²` bipartite edges plus `C(k,2)` intra-cluster edges
-//! per node. This binary counts nodes and edges of generated cluster
-//! graphs across topologies and fault budgets and verifies the counts
-//! against the closed forms.
+//! Thin wrapper: feeds the checked-in `experiments/t5_overhead.spec`
+//! through the shared `xp` driver ([`ftgcs_bench::driver`]), so this
+//! binary and `xp run experiments/t5_overhead.spec`
+//! emit byte-identical output by construction.
 //!
 //! ```sh
 //! cargo run -p ftgcs-bench --release --bin t5_overhead
 //! ```
 
-use ftgcs_bench::emit_table;
-use ftgcs_metrics::table::Table;
-use ftgcs_topology::{generators, ClusterGraph, Graph};
-
-fn topologies() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("line(16)", generators::line(16)),
-        ("ring(16)", generators::ring(16)),
-        ("grid(4,4)", generators::grid(4, 4)),
-        ("tree(2,3)", generators::balanced_tree(2, 3)),
-        ("hypercube(4)", generators::hypercube(4)),
-        ("complete(8)", generators::complete(8)),
-    ]
-}
-
 fn main() {
-    println!("T5: node/edge overhead of the cluster augmentation\n");
-    let mut table = Table::new(&[
-        "base",
-        "f",
-        "k",
-        "base n/m",
-        "aug n",
-        "aug m",
-        "n ratio (=k)",
-        "m ratio",
-        "closed-form m",
-    ]);
-
-    for (name, base) in topologies() {
-        let n = base.node_count();
-        let m = base.edge_count();
-        for f in [1usize, 2, 3] {
-            let k = 3 * f + 1;
-            let cg = ClusterGraph::new(base.clone(), k, f);
-            let aug_n = cg.physical().node_count();
-            let aug_m = cg.physical().edge_count();
-            // Closed forms: n' = k·n; m' = n·C(k,2) + m·k².
-            let expect_n = k * n;
-            let expect_m = n * k * (k - 1) / 2 + m * k * k;
-            assert_eq!(aug_n, expect_n, "{name} f={f}: node count");
-            assert_eq!(aug_m, expect_m, "{name} f={f}: edge count");
-            assert_eq!(cg.cluster_edge_count(), n * k * (k - 1) / 2);
-            assert_eq!(cg.intercluster_edge_count(), m * k * k);
-            table.row(&[
-                name.to_string(),
-                f.to_string(),
-                k.to_string(),
-                format!("{n}/{m}"),
-                aug_n.to_string(),
-                aug_m.to_string(),
-                format!("{:.1}", aug_n as f64 / n as f64),
-                format!("{:.1}", aug_m as f64 / m as f64),
-                expect_m.to_string(),
-            ]);
-        }
-    }
-    emit_table("t5_overhead", &table);
-    println!("\nshape: node overhead is Theta(f) (the ratio equals k = 3f+1); edge overhead");
-    println!("is Theta(f^2) (the ratio grows ~k^2 on edge-dominated graphs). Tolerating f");
-    println!("faulty neighbors requires degree > f, so both are asymptotically optimal.");
+    ftgcs_bench::driver::run_text(
+        "experiments/t5_overhead.spec",
+        include_str!("../../../../experiments/t5_overhead.spec"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
 }

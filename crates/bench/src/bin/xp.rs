@@ -1,0 +1,61 @@
+//! `xp` — the unified experiment driver.
+//!
+//! ```sh
+//! xp run <spec-file>                # execute one experiment
+//! xp sweep <spec-file> key=v1,v2 …  # cartesian sweep over spec keys
+//! xp list [dir]                     # validate + list specs (default: experiments/)
+//! ```
+//!
+//! Spec files (`experiments/*.spec`) either name an `analysis` —
+//! dispatching into the figure/table/ablation code the legacy binaries
+//! wrap — or describe a plain scenario, which runs **streaming**:
+//! samples and rows flow through bounded-memory observers into
+//! `results/*.csv`, never materializing a full trace.
+//!
+//! ```sh
+//! cargo run --release -p ftgcs-bench --bin xp -- run experiments/f1_cluster_convergence.spec
+//! cargo run --release -p ftgcs-bench --bin xp -- sweep experiments/long_line_demo.spec seed=1,2,3
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ftgcs_bench::driver::{self, SweepAxis};
+
+const USAGE: &str = "usage:
+  xp run <spec-file>
+  xp sweep <spec-file> key=v1,v2[,…] [key=…]
+  xp list [dir]        (default dir: experiments)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => match args.get(1) {
+            Some(path) if args.len() == 2 => driver::run_file(Path::new(path)),
+            _ => Err(USAGE.to_string()),
+        },
+        Some("sweep") => match args.get(1) {
+            Some(path) if args.len() >= 3 => args[2..]
+                .iter()
+                .map(|a| SweepAxis::parse(a))
+                .collect::<Result<Vec<_>, _>>()
+                .and_then(|axes| driver::sweep_file(Path::new(path), &axes)),
+            _ => Err(USAGE.to_string()),
+        },
+        Some("list") => {
+            let dir = args.get(1).map_or("experiments", String::as_str);
+            match args.len() {
+                1 | 2 => driver::list_dir(Path::new(dir)),
+                _ => Err(USAGE.to_string()),
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! **F1 — Cluster convergence** (Proposition B.14, Corollary 3.2).
+//!
+//! A single cluster started with spread-out clocks converges
+//! geometrically: the per-round pulse diameter `‖p(r)‖` follows the
+//! recursion `e(r+1) = α·e(r) + β` down to the steady state
+//! `E = β/(1−α)`, and the logical-clock skew stays below `2·ϑ_g·E`.
+//!
+//! Runs one cluster for each `f ∈ {0, 1, 2}` (with `k = 3f+1`) by
+//! cloning the spec's single-cluster scenario along the `f` axis,
+//! injects an initial offset spread of `E` (the largest spread the
+//! analysis admits), and prints measured `‖p(r)‖` per round next to
+//! the theory curve.
+
+use ftgcs::cluster::ROW_PULSE;
+use ftgcs::runner::Scenario;
+use ftgcs_metrics::skew::{intra_cluster_skew_series, pulse_diameters, FaultMask};
+use ftgcs_metrics::table::Table;
+
+use crate::emit_table;
+use crate::spec::SpecFile;
+
+const ROUNDS_SHOWN: usize = 12;
+
+/// Runs the analysis (spec: environment, seed base, topology, horizon).
+pub fn run(spec: &SpecFile) {
+    println!("F1: single-cluster pulse-diameter convergence vs theory\n");
+    let mut table = Table::new(&[
+        "f",
+        "k",
+        "round",
+        "measured |p(r)| (s)",
+        "theory e(r) (s)",
+        "steady E (s)",
+    ]);
+    for f in [0usize, 1, 2] {
+        // One spec cell per fault budget: same environment and
+        // topology, `k = 3f+1`, per-cell seed derived from the base.
+        let mut cell = spec.scenario.clone();
+        cell.f = f;
+        cell.cluster_size = 3 * f + 1;
+        cell.seed = spec.seed() + f as u64;
+        let params = cell.params().expect("spec environment must be feasible");
+        let mut scenario = Scenario::from_spec(&cell).expect("spec cell must build");
+        scenario.initial_offset_spread(params.e);
+        let cg = scenario.cluster_graph().clone();
+        let run = scenario.run_for(cell.duration.resolve(&params));
+
+        let mask = FaultMask::from_nodes(cg.physical().node_count(), &run.faulty);
+        let diam = pulse_diameters(&run.trace, &cg, &mask, ROW_PULSE);
+        let theory = params.error_recursion(params.e, ROUNDS_SHOWN);
+
+        for (r, e_theory) in theory.iter().enumerate() {
+            let measured = diam[0].get(r).copied().flatten().unwrap_or(f64::NAN);
+            table.row(&[
+                f.to_string(),
+                params.cluster_size.to_string(),
+                (r + 1).to_string(),
+                format!("{measured:.3e}"),
+                format!("{e_theory:.3e}"),
+                format!("{:.3e}", params.e),
+            ]);
+            // Shape check: measurements must respect the theory bound.
+            if measured.is_finite() {
+                assert!(
+                    measured <= *e_theory * 1.0001,
+                    "round {} diameter {measured} exceeds theory {e_theory}",
+                    r + 1
+                );
+            }
+        }
+
+        // Corollary 3.2: skew below 2*theta_g*E at all times.
+        let skew = intra_cluster_skew_series(&run.trace, &cg, &mask);
+        let bound = params.intra_cluster_skew_bound();
+        let max_skew = skew.max().unwrap_or(0.0);
+        println!(
+            "f = {f}: max intra-cluster skew {max_skew:.3e} s <= bound {bound:.3e} s : {}",
+            if max_skew <= bound { "OK" } else { "VIOLATED" }
+        );
+        assert!(max_skew <= bound, "Corollary 3.2 violated for f = {f}");
+    }
+    println!();
+    emit_table("f1_cluster_convergence", &table);
+    println!("\nshape: measured diameters sit below the geometric theory curve and flatten at E.");
+}

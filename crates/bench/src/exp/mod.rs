@@ -1,0 +1,98 @@
+//! The figure, table, and ablation analyses of the reproduction.
+//!
+//! Each submodule holds the body of one paper artifact regeneration —
+//! the code that used to live in a dedicated `src/bin/{a,f,t}*.rs`
+//! binary. Both entry points now share it:
+//!
+//! * the **`xp` driver** dispatches here when a spec file names an
+//!   `analysis`;
+//! * the **legacy binaries** are thin wrappers that feed their
+//!   checked-in `experiments/<name>.spec` through the same driver.
+//!
+//! Byte-identical CSVs between `xp run experiments/<name>.spec` and the
+//! legacy binary are therefore structural: there is exactly one code
+//! path.
+//!
+//! Every analysis takes the parsed [`SpecFile`] and reads its
+//! environment `(ρ, d, U)`, base seed, and (where the analysis runs a
+//! single scenario) the full scenario description from it; grid axes
+//! the paper sweeps (fault budgets, diameters, slack scales, …) stay
+//! analysis-internal and are documented in the spec files' comments.
+
+use crate::spec::SpecFile;
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod a4;
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;
+pub mod t6;
+
+/// An analysis entry point.
+pub type Analysis = fn(&SpecFile);
+
+/// Name → analysis registry (the names match the legacy binaries and
+/// the output CSVs).
+pub const ANALYSES: &[(&str, Analysis)] = &[
+    ("a1_mode_policy_ablation", a1::run),
+    ("a2_slack_ablation", a2::run),
+    ("a3_amortization_ablation", a3::run),
+    ("a4_level_unit_ablation", a4::run),
+    ("f1_cluster_convergence", f1::run),
+    ("f2_local_skew_vs_diameter", f2::run),
+    ("f3_skew_traces", f3::run),
+    ("f4_attack_matrix", f4::run),
+    ("f5_gcs_vs_ftgcs", f5::run),
+    ("t1_parameter_table", t1::run),
+    ("t2_reliability", t2::run),
+    ("t3_unanimous_rates", t3::run),
+    ("t4_global_skew", t4::run),
+    ("t5_overhead", t5::run),
+    ("t6_trigger_audit", t6::run),
+];
+
+/// Looks an analysis up by name.
+#[must_use]
+pub fn find(name: &str) -> Option<Analysis> {
+    ANALYSES.iter().find(|&&(n, _)| n == name).map(|&(_, f)| f)
+}
+
+/// Does FC hold for cluster `c` given all cluster clocks? (Def. 4.1:
+/// `∃ s ≥ 1: up ≥ 2sκ ∧ down ≤ 2sκ`.) Shared by the t6 audit and the
+/// a2 slack ablation.
+pub(crate) fn fc_holds(clocks: &[f64], neighbors: &[usize], c: usize, kappa: f64) -> bool {
+    let up = neighbors
+        .iter()
+        .map(|&a| clocks[a] - clocks[c])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let down = neighbors
+        .iter()
+        .map(|&b| clocks[c] - clocks[b])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let s_lo = (down / (2.0 * kappa)).ceil().max(1.0);
+    up >= 2.0 * s_lo * kappa
+}
+
+/// Does SC hold for cluster `c`? (Def. 4.2:
+/// `∃ s ≥ 1: behind ≥ (2s−1)κ ∧ ahead ≤ (2s−1)κ`.)
+pub(crate) fn sc_holds(clocks: &[f64], neighbors: &[usize], c: usize, kappa: f64) -> bool {
+    let behind = neighbors
+        .iter()
+        .map(|&a| clocks[c] - clocks[a])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ahead = neighbors
+        .iter()
+        .map(|&b| clocks[b] - clocks[c])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let s_lo = ((ahead / kappa + 1.0) / 2.0).ceil().max(1.0);
+    behind >= (2.0 * s_lo - 1.0) * kappa
+}

@@ -1,12 +1,22 @@
-//! Shared experiment-harness helpers for the FTGCS reproduction.
+//! Shared experiment harness for the FTGCS reproduction.
 //!
-//! Each `src/bin/{a,f,t}*.rs` binary regenerates one figure or table;
-//! `EXPERIMENTS.md` at the repository root indexes all fifteen binaries,
-//! the criterion benches, and the `results/` CSVs they produce. This
-//! library holds the pieces they share: the adversarial clock-rate
-//! schedule, the standard post-warmup skew measurement, and CSV output.
+//! Experiments are **spec files** under `experiments/` at the repo root
+//! ([`spec::SpecFile`]): the unified `xp` binary executes them
+//! (`xp run`, `xp sweep`, `xp list` — see [`driver`]), dispatching
+//! either into one of the figure/table/ablation analyses in [`exp`] or
+//! into the default streaming runner. The fifteen legacy
+//! `src/bin/{a,f,t}*.rs` binaries are thin wrappers that feed their
+//! checked-in spec through the same driver, so both entry points emit
+//! byte-identical CSVs. `EXPERIMENTS.md` at the repository root indexes
+//! everything. This module itself holds the pieces the analyses share:
+//! the adversarial clock-rate schedule, the standard post-warmup skew
+//! measurement, and CSV output.
 
 #![warn(missing_docs)]
+
+pub mod driver;
+pub mod exp;
+pub mod spec;
 
 use std::fs;
 use std::io::Write as _;

@@ -1,0 +1,153 @@
+//! Experiment spec files: a [`ScenarioSpec`] plus driver-level keys.
+//!
+//! The files checked in under `experiments/` are the unit of experiment
+//! exchange. Each one is a [`ftgcs::spec::ScenarioSpec`] text document
+//! extended with driver-only keys the core format does not know about:
+//!
+//! * `analysis <name>` — run the named figure/table analysis from
+//!   [`crate::exp`] (the code the legacy `{a,f,t}*` binaries wrap)
+//!   instead of the default streaming run;
+//! * `csv_stride <n>` — decimation factor of the streaming samples CSV
+//!   (default 1 = every sample).
+//!
+//! Driver keys are stripped before the remainder is handed to
+//! [`ScenarioSpec::parse`], so a spec file is always a superset of the
+//! core format.
+
+use ftgcs::params::Params;
+use ftgcs::spec::{ScenarioSpec, SpecError};
+
+/// A parsed experiment file: the scenario plus driver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecFile {
+    /// The declarative scenario.
+    pub scenario: ScenarioSpec,
+    /// Named analysis to run (`None` = the default streaming run).
+    pub analysis: Option<String>,
+    /// Samples-CSV decimation for streaming runs.
+    pub csv_stride: usize,
+}
+
+impl SpecFile {
+    /// Parses an experiment file: driver keys here, the rest via
+    /// [`ScenarioSpec::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending line.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut analysis = None;
+        let mut csv_stride = 1usize;
+        let mut rest = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some("analysis") => {
+                    let name = tokens.next().ok_or_else(|| SpecError {
+                        line: lineno,
+                        msg: "analysis takes a name".into(),
+                    })?;
+                    if tokens.next().is_some() {
+                        return Err(SpecError {
+                            line: lineno,
+                            msg: "analysis takes exactly one name".into(),
+                        });
+                    }
+                    analysis = Some(name.to_string());
+                    rest.push('\n'); // keep line numbers aligned
+                }
+                Some("csv_stride") => {
+                    let n = tokens
+                        .next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| SpecError {
+                            line: lineno,
+                            msg: "csv_stride takes a positive integer".into(),
+                        })?;
+                    csv_stride = n;
+                    rest.push('\n');
+                }
+                _ => {
+                    rest.push_str(raw);
+                    rest.push('\n');
+                }
+            }
+        }
+        Ok(SpecFile {
+            scenario: ScenarioSpec::parse(&rest)?,
+            analysis,
+            csv_stride,
+        })
+    }
+
+    /// Parameter set implied by the spec's environment, with a
+    /// **different** fault budget `f` (and the default `k = 3f + 1`) —
+    /// the grid axis most analyses sweep while keeping the spec's
+    /// `(ρ, d, U)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment is infeasible for that `f` (analyses
+    /// have no error channel more useful than aborting).
+    #[must_use]
+    pub fn params_with_f(&self, f: usize) -> Params {
+        Params::practical(self.scenario.rho, self.scenario.d, self.scenario.u, f)
+            .expect("spec environment must be feasible")
+    }
+
+    /// The spec's own parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment is infeasible.
+    #[must_use]
+    pub fn params(&self) -> Params {
+        self.scenario
+            .params()
+            .expect("spec environment must be feasible")
+    }
+
+    /// The spec's `(ρ, d, U)` environment triple.
+    #[must_use]
+    pub fn env(&self) -> (f64, f64, f64) {
+        (self.scenario.rho, self.scenario.d, self.scenario.u)
+    }
+
+    /// The spec's master seed (analyses derive their per-cell seeds
+    /// from it).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.scenario.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_keys_are_stripped_and_parsed() {
+        let f = SpecFile::parse(
+            "name x\ntopology line 2\nanalysis f1_cluster_convergence\ncsv_stride 4\nseed 9\n",
+        )
+        .unwrap();
+        assert_eq!(f.analysis.as_deref(), Some("f1_cluster_convergence"));
+        assert_eq!(f.csv_stride, 4);
+        assert_eq!(f.scenario.seed, 9);
+    }
+
+    #[test]
+    fn line_numbers_survive_driver_key_stripping() {
+        let err = SpecFile::parse("name x\nanalysis demo\ntopology line 2\nbogus 1\n").unwrap_err();
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn bad_driver_keys_error() {
+        assert!(SpecFile::parse("name x\ntopology line 2\nanalysis\n").is_err());
+        assert!(SpecFile::parse("name x\ntopology line 2\ncsv_stride 0\n").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Gate on the checked-in experiment files: every `experiments/*.spec`
+//! must parse, name a known analysis (or be a streaming run), build a
+//! runnable scenario, and round-trip through the canonical printer.
+//! A streaming spec is also executed end-to-end at the spec level,
+//! pinning the observer path byte-identical to the materialized trace.
+
+use std::path::{Path, PathBuf};
+
+use ftgcs::runner::Scenario;
+use ftgcs::spec::ScenarioSpec;
+use ftgcs_bench::exp;
+use ftgcs_bench::spec::SpecFile;
+use ftgcs_metrics::skew::{global_skew_series, FaultMask};
+use ftgcs_metrics::stream::SkewStream;
+use ftgcs_sim::observe::Observer;
+use ftgcs_sim::trace::Trace;
+
+fn experiments_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments")
+}
+
+fn checked_in_specs() -> Vec<(PathBuf, SpecFile)> {
+    let mut specs: Vec<(PathBuf, SpecFile)> = std::fs::read_dir(experiments_dir())
+        .expect("experiments/ must exist at the repo root")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "spec"))
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("readable spec");
+            let file = SpecFile::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+            (p, file)
+        })
+        .collect();
+    specs.sort_by(|a, b| a.0.cmp(&b.0));
+    specs
+}
+
+#[test]
+fn every_checked_in_spec_parses_builds_and_round_trips() {
+    let specs = checked_in_specs();
+    // All fifteen analyses plus the streaming smoke + long-demo specs.
+    assert!(
+        specs.len() >= 17,
+        "expected >= 17 checked-in specs, found {}",
+        specs.len()
+    );
+    for (path, file) in &specs {
+        if let Some(name) = &file.analysis {
+            assert!(
+                exp::find(name).is_some(),
+                "{}: names unknown analysis {name:?}",
+                path.display()
+            );
+        }
+        // Canonical print → parse is the identity.
+        let printed = file.scenario.print();
+        assert_eq!(
+            ScenarioSpec::parse(&printed).expect("canonical print parses"),
+            file.scenario,
+            "{}: print/parse round trip",
+            path.display()
+        );
+        // The scenario actually assembles, and its to_spec re-canonicalizes
+        // into something that parses and rebuilds.
+        let scenario = Scenario::from_spec(&file.scenario)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let back = scenario
+            .to_spec()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        Scenario::from_spec(&back).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn every_legacy_binary_has_its_spec_checked_in() {
+    // The wrapper binaries include_str! these paths at compile time, so
+    // a rename that misses one side fails the build — this test instead
+    // guards the inverse: every analysis in the registry has a spec
+    // file driving it.
+    let specs = checked_in_specs();
+    for &(name, _) in exp::ANALYSES {
+        assert!(
+            specs
+                .iter()
+                .any(|(_, f)| f.analysis.as_deref() == Some(name)),
+            "analysis {name} has no checked-in spec under experiments/"
+        );
+    }
+}
+
+#[test]
+fn smoke_spec_streams_byte_identically_to_the_materialized_run() {
+    let (path, file) = checked_in_specs()
+        .into_iter()
+        .find(|(_, f)| f.scenario.name == "smoke")
+        .expect("smoke.spec must stay checked in (CI smoke-runs it)");
+    assert!(
+        file.analysis.is_none(),
+        "{}: the smoke spec must be a streaming run",
+        path.display()
+    );
+    let spec = &file.scenario;
+    let params = spec.params().expect("feasible");
+    let scenario = Scenario::from_spec(spec).expect("buildable");
+    let horizon = spec.duration.resolve(&params);
+
+    // Materialized reference.
+    let reference = scenario.run_for(horizon);
+
+    // Streaming twin: a collect-everything Trace plus the O(nodes)
+    // skew accumulator, both fed by one run.
+    let nodes = scenario.cluster_graph().physical().node_count();
+    let mask = FaultMask::from_nodes(nodes, &reference.faulty);
+    let mut collected = Trace::new();
+    let mut skew = SkewStream::new(mask.clone());
+    {
+        let mut fan = ftgcs_sim::observe::Fanout::new(vec![&mut collected, &mut skew]);
+        scenario.run_streaming(horizon, &mut fan);
+    }
+    assert_eq!(
+        collected.to_bytes(),
+        reference.trace.to_bytes(),
+        "streamed bytes diverged from the materialized trace"
+    );
+    assert_eq!(
+        skew.max(),
+        global_skew_series(&reference.trace, &mask).max(),
+        "streaming skew accumulator disagrees with the materialized series"
+    );
+    assert!(skew.count() > 0, "smoke horizon too short to sample");
+    // on_finish is idempotent bookkeeping for these observers.
+    skew.on_finish(&reference.stats);
+}

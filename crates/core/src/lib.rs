@@ -62,6 +62,7 @@ pub mod messages;
 pub mod node;
 pub mod params;
 pub mod runner;
+pub mod spec;
 pub mod triggers;
 
 pub use faults::FaultKind;

@@ -13,6 +13,7 @@ use ftgcs_sim::clock::RateModel;
 use ftgcs_sim::engine::{SimBuilder, SimConfig, SimStats, Simulation};
 use ftgcs_sim::network::{DelayConfig, DelayDistribution};
 use ftgcs_sim::node::NodeId;
+use ftgcs_sim::observe::Observer;
 use ftgcs_sim::rng::SimRng;
 use ftgcs_sim::shard::SchedulerKind;
 use ftgcs_sim::time::{SimDuration, SimTime};
@@ -24,7 +25,10 @@ use crate::faults::{make_fault_behavior, FaultKind};
 use crate::messages::Msg;
 use crate::node::{FtGcsNode, NodeConfig};
 use crate::params::Params;
+use crate::spec::{DurationSpec, SampleSpec, SchedulerSpec, SpecError, TopologySpec};
 use crate::triggers::ModePolicy;
+
+pub use crate::spec::ScenarioSpec;
 
 /// A fully specified experiment: graph, parameters, faults, environment.
 ///
@@ -57,6 +61,21 @@ pub struct Scenario {
     cluster_offsets: Vec<f64>,
     rate_overrides: Vec<(usize, RateModel)>,
     scheduler: SchedulerKind,
+    /// Where the scenario came from, when built by
+    /// [`Scenario::from_spec`]: the pieces a [`ScenarioSpec`] carries
+    /// that the runnable scenario itself does not (topology generator,
+    /// name, horizon). Hand-assembled scenarios have none, and
+    /// [`Scenario::to_spec`] refuses on them.
+    provenance: Option<Provenance>,
+}
+
+/// Spec-only metadata remembered across [`Scenario::from_spec`] so that
+/// [`Scenario::to_spec`] can reconstruct a complete spec.
+#[derive(Debug, Clone)]
+struct Provenance {
+    name: String,
+    topology: TopologySpec,
+    duration: DurationSpec,
 }
 
 impl Scenario {
@@ -99,7 +118,238 @@ impl Scenario {
             cluster_offsets: vec![0.0; cluster_count],
             rate_overrides: Vec::new(),
             scheduler: SchedulerKind::Global,
+            provenance: None,
         }
+    }
+
+    /// Assembles a scenario from a declarative [`ScenarioSpec`].
+    ///
+    /// Sugar entries (`fault_per_cluster`, `random_faults`,
+    /// `offset_ramp`) are expanded in that order, before the explicit
+    /// placements — through the same expansions the corresponding
+    /// builder methods use, but with every collision reported as an
+    /// error rather than the builders' panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the environment is infeasible, the
+    /// name is not a single `#`-free word, the duration or sample
+    /// interval is degenerate, or any placement (explicit or
+    /// sugar-expanded) is out of range or lands on an already-faulty
+    /// node.
+    pub fn from_spec(spec: &ScenarioSpec) -> Result<Scenario, SpecError> {
+        if !crate::spec::name_is_canonical(&spec.name) {
+            return Err(SpecError::new(format!(
+                "name {:?} is not expressible in the spec format (one word, no '#')",
+                spec.name
+            )));
+        }
+        let raw_duration = match spec.duration {
+            DurationSpec::Secs(x) | DurationSpec::Rounds(x) => x,
+        };
+        if !raw_duration.is_finite() || raw_duration < 0.0 {
+            return Err(SpecError::new("duration must be finite and non-negative"));
+        }
+        let params = spec.params()?;
+        let cg = ClusterGraph::new(spec.topology.build(), spec.cluster_size, spec.f);
+        let nodes = cg.physical().node_count();
+        let clusters = cg.cluster_count();
+        for &(count, _) in &spec.faults_per_cluster {
+            if count > spec.cluster_size {
+                return Err(SpecError::new(format!(
+                    "fault_per_cluster count {count} exceeds cluster_size {}",
+                    spec.cluster_size
+                )));
+            }
+        }
+        // The builder sugar would silently clamp an oversized count; a
+        // spec asking for more faults than a cluster has slots is a
+        // typo, not a request for a different experiment.
+        for &(count, _, _) in &spec.random_faults {
+            if count > spec.cluster_size {
+                return Err(SpecError::new(format!(
+                    "random_faults count {count} exceeds cluster_size {}",
+                    spec.cluster_size
+                )));
+            }
+        }
+        for &(node, _) in &spec.faults {
+            if node >= nodes {
+                return Err(SpecError::new(format!(
+                    "fault node {node} out of range (graph has {nodes} nodes)"
+                )));
+            }
+        }
+        for &(node, _) in &spec.rate_overrides {
+            if node >= nodes {
+                return Err(SpecError::new(format!(
+                    "rate_override node {node} out of range (graph has {nodes} nodes)"
+                )));
+            }
+        }
+        for &(cluster, offset) in &spec.cluster_offsets {
+            if cluster >= clusters {
+                return Err(SpecError::new(format!(
+                    "cluster_offset cluster {cluster} out of range ({clusters} clusters)"
+                )));
+            }
+            if offset < 0.0 {
+                return Err(SpecError::new("cluster offsets must be non-negative"));
+            }
+        }
+        let mut scenario = Scenario::new(cg, params);
+        scenario
+            .seed(spec.seed)
+            .delay_distribution(spec.delay.clone())
+            .rate_model(spec.rate_model.clone())
+            .mode_policy(spec.mode_policy)
+            .max_estimator(spec.max_estimator);
+        match spec.sample_interval {
+            SampleSpec::HalfRound => {} // the Scenario::new default (T/2)
+            SampleSpec::Off => {
+                scenario.sample_interval(None);
+            }
+            SampleSpec::Secs(secs) => {
+                // A zero interval would re-arm the sample event at the
+                // same instant forever and livelock the engine.
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(SpecError::new(
+                        "sample_interval must be positive and finite",
+                    ));
+                }
+                scenario.sample_interval(Some(SimDuration::from_secs(secs)));
+            }
+        }
+        if spec.offset_spread > 0.0 {
+            scenario.initial_offset_spread(spec.offset_spread);
+        }
+        if spec.offset_ramp > 0.0 {
+            scenario.cluster_offset_ramp(spec.offset_ramp);
+        }
+        for &(cluster, offset) in &spec.cluster_offsets {
+            scenario.cluster_offset(cluster, offset);
+        }
+        // Faults, sugar first (same order the builder methods would
+        // apply), with collisions turned into errors instead of the
+        // builders' panics.
+        let add_fault = |scenario: &mut Scenario, node: usize, kind: &FaultKind| {
+            if scenario.faults.iter().any(|&(n, _)| n == node) {
+                return Err(SpecError::new(format!(
+                    "node {node} has two faults assigned (explicit `fault` lines and \
+                     sugar expansions must not overlap)"
+                )));
+            }
+            scenario.faults.push((node, kind.clone()));
+            Ok(())
+        };
+        for (count, kind) in &spec.faults_per_cluster {
+            for node in per_cluster_fault_nodes(&scenario.cg, *count) {
+                add_fault(&mut scenario, node, kind)?;
+            }
+        }
+        for (count, seed, kind) in &spec.random_faults {
+            for node in random_fault_nodes(&scenario.cg, *count, *seed) {
+                add_fault(&mut scenario, node, kind)?;
+            }
+        }
+        for (node, kind) in &spec.faults {
+            add_fault(&mut scenario, *node, kind)?;
+        }
+        for (node, model) in &spec.rate_overrides {
+            scenario.rate_override(*node, model.clone());
+        }
+        match spec.scheduler {
+            SchedulerSpec::Global => {}
+            SchedulerSpec::ShardedByCluster => {
+                scenario.sharded_by_cluster();
+            }
+            SchedulerSpec::Parallel(workers) => {
+                scenario.parallel(workers);
+            }
+        }
+        scenario.provenance = Some(Provenance {
+            name: spec.name.clone(),
+            topology: spec.topology,
+            duration: spec.duration,
+        });
+        Ok(scenario)
+    }
+
+    /// Serializes the scenario back into a [`ScenarioSpec`].
+    ///
+    /// Sugar used at assembly time is **canonicalized**: fault sugar
+    /// becomes explicit `fault` placements, the offset ramp becomes
+    /// explicit `cluster_offset` entries. `from_spec(to_spec(s))`
+    /// therefore reproduces the identical scenario even when
+    /// `to_spec(from_spec(spec))` differs textually from `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the scenario was hand-assembled (its
+    /// topology generator is unknown) or uses a scheduler partition
+    /// other than the per-cluster one.
+    pub fn to_spec(&self) -> Result<ScenarioSpec, SpecError> {
+        let provenance = self.provenance.as_ref().ok_or_else(|| {
+            SpecError::new(
+                "scenario was hand-assembled; its topology generator is unknown \
+                 (build it with Scenario::from_spec to round-trip)",
+            )
+        })?;
+        let scheduler = match &self.scheduler {
+            SchedulerKind::Global => SchedulerSpec::Global,
+            SchedulerKind::Sharded(p) => {
+                if *p != cluster_partition(&self.cg) {
+                    return Err(SpecError::new(
+                        "only the per-cluster shard partition is spec-expressible",
+                    ));
+                }
+                SchedulerSpec::ShardedByCluster
+            }
+            SchedulerKind::Parallel { partition, workers } => {
+                if *partition != cluster_partition(&self.cg) {
+                    return Err(SpecError::new(
+                        "only the per-cluster shard partition is spec-expressible",
+                    ));
+                }
+                SchedulerSpec::Parallel(*workers)
+            }
+        };
+        let half_round = SimDuration::from_secs(self.params.t_round / 2.0);
+        let sample_interval = match self.sample_interval {
+            None => SampleSpec::Off,
+            Some(interval) if interval == half_round => SampleSpec::HalfRound,
+            Some(interval) => SampleSpec::Secs(interval.as_secs()),
+        };
+        Ok(ScenarioSpec {
+            name: provenance.name.clone(),
+            topology: provenance.topology,
+            cluster_size: self.params.cluster_size,
+            f: self.params.f,
+            rho: self.params.rho,
+            d: self.params.d,
+            u: self.params.u,
+            seed: self.seed,
+            duration: provenance.duration,
+            delay: self.delay_distribution.clone(),
+            rate_model: self.rate_model.clone(),
+            sample_interval,
+            mode_policy: self.mode_policy,
+            max_estimator: self.enable_max_estimator,
+            offset_spread: self.initial_offset_spread,
+            offset_ramp: 0.0,
+            cluster_offsets: self
+                .cluster_offsets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &off)| off != 0.0)
+                .map(|(c, &off)| (c, off))
+                .collect(),
+            faults: self.faults.clone(),
+            faults_per_cluster: Vec::new(),
+            random_faults: Vec::new(),
+            rate_overrides: self.rate_overrides.clone(),
+            scheduler,
+        })
     }
 
     /// The cluster graph.
@@ -250,25 +500,16 @@ impl Scenario {
     /// Makes slots `0..count` of *every* cluster Byzantine with the given
     /// strategy.
     pub fn with_fault_per_cluster(&mut self, kind: &FaultKind, count: usize) -> &mut Self {
-        for c in 0..self.cg.cluster_count() {
-            for slot in 0..count {
-                let node = self.cg.node_id(c, slot);
-                self.with_fault(node, kind.clone());
-            }
+        for node in per_cluster_fault_nodes(&self.cg, count) {
+            self.with_fault(node, kind.clone());
         }
         self
     }
 
     /// Makes `count` random members of each cluster Byzantine.
     pub fn with_random_faults(&mut self, kind: &FaultKind, count: usize, seed: u64) -> &mut Self {
-        let mut rng = SimRng::seed_from(seed);
-        for c in 0..self.cg.cluster_count() {
-            let mut slots: Vec<usize> = (0..self.cg.cluster_size()).collect();
-            for i in 0..count.min(slots.len()) {
-                let j = i + rng.index(slots.len() - i);
-                slots.swap(i, j);
-                self.with_fault(self.cg.node_id(c, slots[i]), kind.clone());
-            }
+        for node in random_fault_nodes(&self.cg, count, seed) {
+            self.with_fault(node, kind.clone());
         }
         self
     }
@@ -363,11 +604,18 @@ impl Scenario {
         builder.build()
     }
 
-    /// Builds and runs for `duration` simulated seconds.
+    /// Builds and runs for a duration of simulated time, materializing
+    /// the full trace.
+    ///
+    /// Accepts either a typed [`SimDuration`] or plain `f64` **seconds**
+    /// (the historical calling convention) — the newtype stops seconds
+    /// from being confused with round counts; use
+    /// [`DurationSpec::resolve`](crate::spec::DurationSpec::resolve) to
+    /// convert rounds.
     #[must_use]
-    pub fn run_for(&self, duration: f64) -> ScenarioRun {
+    pub fn run_for(&self, duration: impl Into<SimDuration>) -> ScenarioRun {
         let mut sim = self.build();
-        sim.run_until(SimTime::from_secs(duration));
+        sim.run_until(SimTime::ZERO + duration.into());
         let stats = sim.stats();
         ScenarioRun {
             faulty: self.faulty_nodes(),
@@ -376,12 +624,63 @@ impl Scenario {
         }
     }
 
+    /// Builds and runs for a duration of simulated time, **streaming**
+    /// every sample and row to `obs` instead of materializing a
+    /// [`Trace`] — memory stays bounded by the observer (O(nodes) for
+    /// the accumulators in `ftgcs_metrics::stream`) regardless of run
+    /// length. Calls [`Observer::on_finish`] once at the end.
+    ///
+    /// The stream is byte-equivalent to the materialized trace of
+    /// [`Scenario::run_for`] on every scheduler — pinned by the
+    /// observer-equivalence suites.
+    pub fn run_streaming(
+        &self,
+        duration: impl Into<SimDuration>,
+        obs: &mut dyn Observer,
+    ) -> SimStats {
+        let mut sim = self.build();
+        sim.run_until_with(SimTime::ZERO + duration.into(), obs);
+        let stats = sim.stats();
+        obs.on_finish(&stats);
+        stats
+    }
+
     /// Runs for the parameter-suggested horizon of this graph's diameter.
     #[must_use]
     pub fn run_suggested(&self) -> ScenarioRun {
         let d = ftgcs_topology::analysis::diameter(self.cg.base());
         self.run_for(self.params.suggested_horizon(d))
     }
+}
+
+/// The node ids [`Scenario::with_fault_per_cluster`] assigns: slots
+/// `0..count` of every cluster. Shared with [`Scenario::from_spec`],
+/// which applies the same expansion through its error-returning path.
+fn per_cluster_fault_nodes(cg: &ClusterGraph, count: usize) -> Vec<usize> {
+    let mut nodes = Vec::with_capacity(cg.cluster_count() * count);
+    for c in 0..cg.cluster_count() {
+        for slot in 0..count {
+            nodes.push(cg.node_id(c, slot));
+        }
+    }
+    nodes
+}
+
+/// The node ids [`Scenario::with_random_faults`] assigns for
+/// `(count, seed)`: a seeded Fisher–Yates prefix per cluster. Shared
+/// with [`Scenario::from_spec`].
+fn random_fault_nodes(cg: &ClusterGraph, count: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut nodes = Vec::new();
+    for c in 0..cg.cluster_count() {
+        let mut slots: Vec<usize> = (0..cg.cluster_size()).collect();
+        for i in 0..count.min(slots.len()) {
+            let j = i + rng.index(slots.len() - i);
+            slots.swap(i, j);
+            nodes.push(cg.node_id(c, slots[i]));
+        }
+    }
+    nodes
 }
 
 /// The output of a completed scenario.

@@ -29,6 +29,7 @@
 pub mod series;
 pub mod skew;
 pub mod stats;
+pub mod stream;
 pub mod table;
 
 pub use series::TimeSeries;

@@ -30,6 +30,7 @@
 use crate::clock::{HardwareClock, RateModel};
 use crate::network::{DelayConfig, DelayDistribution};
 use crate::node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
+use crate::observe::Observer;
 use crate::par::ParQueue;
 use crate::rng::SimRng;
 use crate::shard::{
@@ -349,11 +350,13 @@ impl<M> QueueKind<'_, M> {
 
 /// Where a dispatch records behavior-emitted trace rows.
 pub(crate) enum RowSink<'a> {
-    /// Strict in-order mode: append directly to the trace (the serial
-    /// engines, whose dispatch order *is* the global order).
+    /// Strict in-order mode: append to a scratch buffer that the serial
+    /// engine flushes to the run's [`Observer`] right after the
+    /// dispatch (whose order *is* the global order).
     Direct(&'a mut Vec<Row>),
     /// Relaxed mode: buffer per shard, tagged with the emitting event's
-    /// key; merged into global order at the barrier.
+    /// key; merged into global order at the barrier, where the
+    /// coordinator streams the merged batch to the observer.
     Buffered(&'a mut Vec<(Key, Row)>),
 }
 
@@ -709,8 +712,9 @@ fn run_start<M: Clone>(
     cell.behavior = Some(behavior);
 }
 
-/// Records one engine-global clock sample over all nodes.
-pub(crate) fn take_sample<M>(cells: &mut [NodeCell<M>], now: SimTime, trace: &mut Trace) {
+/// Records one engine-global clock sample over all nodes and streams it
+/// to the observer.
+pub(crate) fn take_sample<M>(cells: &mut [NodeCell<M>], now: SimTime, obs: &mut dyn Observer) {
     let n = cells.len();
     let mut logical = Vec::with_capacity(n);
     let mut hardware = Vec::with_capacity(n);
@@ -719,7 +723,7 @@ pub(crate) fn take_sample<M>(cells: &mut [NodeCell<M>], now: SimTime, trace: &mu
         logical.push(cell.state.tracks[TrackId::MAIN.index()].value_at(hw));
         hardware.push(hw);
     }
-    trace.samples.push(ClockSample {
+    obs.on_sample_owned(ClockSample {
         t: now,
         logical,
         hardware,
@@ -941,6 +945,10 @@ impl<M> Simulation<M> {
     }
 
     /// The trace recorded so far.
+    ///
+    /// Populated by [`Simulation::run_until`]/[`Simulation::run_for`];
+    /// streaming runs ([`Simulation::run_until_with`]) bypass it and
+    /// leave it empty.
     #[must_use]
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -1013,8 +1021,8 @@ impl<M> Simulation<M> {
     }
 }
 
-impl<M: Clone + Send> Simulation<M> {
-    pub(crate) fn start_if_needed(&mut self) {
+impl<M: Clone + Send + 'static> Simulation<M> {
+    pub(crate) fn start_if_needed(&mut self, obs: &mut dyn Observer) {
         if self.started {
             return;
         }
@@ -1026,9 +1034,9 @@ impl<M: Clone + Send> Simulation<M> {
             shared,
             cells,
             store,
-            trace,
             ..
         } = self;
+        let mut scratch: Vec<Row> = Vec::new();
         for (i, cell) in cells.iter_mut().enumerate() {
             let queue = match store {
                 EventStore::Serial(q) => QueueKind::Serial(q),
@@ -1039,28 +1047,61 @@ impl<M: Clone + Send> Simulation<M> {
                 NodeId(i),
                 shared,
                 queue,
-                RowSink::Direct(&mut trace.rows),
+                RowSink::Direct(&mut scratch),
             );
+            for row in scratch.drain(..) {
+                obs.on_row_owned(row);
+            }
         }
     }
 
     /// Processes events until Newtonian time `until` (inclusive); `now()`
     /// afterwards equals `until` even if the queue drained early.
+    ///
+    /// Samples and rows are collected into the internal [`Trace`]
+    /// (see [`Simulation::trace`]); this is exactly
+    /// [`Simulation::run_until_with`] pointed at that trace, which is
+    /// the collect-everything [`Observer`].
     pub fn run_until(&mut self, until: SimTime) {
-        self.start_if_needed();
-        match self.store {
-            EventStore::Serial(_) => self.run_serial(until),
-            EventStore::Parallel(_) => self.run_parallel(until),
+        let mut trace = std::mem::take(&mut self.trace);
+        // Restore the trace even if a behavior panics, so everything
+        // recorded up to the panic stays inspectable (the historical
+        // contract, when the trace never left `self`). Unwind safety:
+        // the trace is written back whole and the panic re-raised
+        // immediately.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_until_with(until, &mut trace);
+        }));
+        self.trace = trace;
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
         }
     }
 
-    fn run_serial(&mut self, until: SimTime) {
+    /// Processes events until `until`, streaming every sample and row to
+    /// `obs` instead of materializing them.
+    ///
+    /// The observer receives samples and rows in the global dispatch
+    /// order on every scheduler (the parallel executor merges its
+    /// per-shard buffers back into that order at each barrier), so a
+    /// collect-everything observer reproduces [`Simulation::run_until`]
+    /// byte-for-byte — pinned by `tests/observer_equivalence.rs`. The
+    /// internal trace stays empty during streaming runs. Callers should
+    /// invoke [`Observer::on_finish`] once after the last call.
+    pub fn run_until_with(&mut self, until: SimTime, obs: &mut dyn Observer) {
+        self.start_if_needed(obs);
+        match self.store {
+            EventStore::Serial(_) => self.run_serial(until, obs),
+            EventStore::Parallel(_) => self.run_parallel(until, obs),
+        }
+    }
+
+    fn run_serial(&mut self, until: SimTime, obs: &mut dyn Observer) {
         let Simulation {
             now,
             shared,
             cells,
             store,
-            trace,
             stats,
             sample_seq,
             ..
@@ -1068,6 +1109,10 @@ impl<M: Clone + Send> Simulation<M> {
         let EventStore::Serial(queue) = store else {
             unreachable!("run_serial on a parallel store");
         };
+        // Per-dispatch row scratch, flushed to the observer after every
+        // event so rows stream out in the exact dispatch order. The
+        // buffer is reused across events — no steady-state allocation.
+        let mut scratch: Vec<Row> = Vec::new();
         while let Some((key, pending)) = queue.pop_before_keyed(until) {
             let time = key.time;
             debug_assert!(time >= *now, "time went backwards");
@@ -1075,7 +1120,7 @@ impl<M: Clone + Send> Simulation<M> {
             stats.events += 1;
             match pending {
                 Pending::Sample => {
-                    take_sample(cells, time, trace);
+                    take_sample(cells, time, obs);
                     // Re-arm unconditionally: events beyond `until` stay
                     // queued, so sampling continues across consecutive
                     // run_until calls (`None` pauses the chain; a later
@@ -1093,12 +1138,15 @@ impl<M: Clone + Send> Simulation<M> {
                         node,
                         shared,
                         QueueKind::Serial(queue),
-                        RowSink::Direct(&mut trace.rows),
+                        RowSink::Direct(&mut scratch),
                         stats,
                         time,
                         key,
                         pending,
                     );
+                    for row in scratch.drain(..) {
+                        obs.on_row_owned(row);
+                    }
                 }
             }
         }
@@ -1109,6 +1157,13 @@ impl<M: Clone + Send> Simulation<M> {
     pub fn run_for(&mut self, duration: SimDuration) {
         let until = self.now + duration;
         self.run_until(until);
+    }
+
+    /// Streaming twin of [`Simulation::run_for`]: runs for a further
+    /// duration, feeding `obs` instead of the internal trace.
+    pub fn run_for_with(&mut self, duration: SimDuration, obs: &mut dyn Observer) {
+        let until = self.now + duration;
+        self.run_until_with(until, obs);
     }
 }
 
@@ -1161,6 +1216,39 @@ mod tests {
             sample_interval: None,
             scheduler: SchedulerKind::Global,
         }
+    }
+
+    /// Emits one row per timer tick and panics on the third.
+    struct EmitThenBoom {
+        ticks: u32,
+    }
+
+    impl Behavior<Msg> for EmitThenBoom {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer_at(TrackId::MAIN, 0.1, TimerTag::new(0));
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {
+            self.ticks += 1;
+            assert!(self.ticks < 3, "boom");
+            ctx.emit("tick", vec![f64::from(self.ticks)]);
+            let next = ctx.track_value(TrackId::MAIN) + 0.1;
+            ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(0));
+        }
+    }
+
+    #[test]
+    fn trace_recorded_before_a_behavior_panic_is_preserved() {
+        let mut b = SimBuilder::new(fixed_delay_config());
+        b.add_node(Box::new(EmitThenBoom { ticks: 0 }));
+        let mut sim = b.build();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_until(SimTime::from_secs(1.0));
+        }));
+        assert!(outcome.is_err(), "the behavior must have panicked");
+        // Everything materialized before the panic stays inspectable.
+        assert_eq!(sim.trace().rows.len(), 2);
+        assert_eq!(sim.trace().rows[0].kind, "tick");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod clock;
 pub mod engine;
 pub mod network;
 pub mod node;
+pub mod observe;
 pub mod par;
 pub mod rng;
 pub mod shard;

@@ -20,9 +20,10 @@
 //!   own event sequence (per-node RNG and delay streams included).
 //! * **Relaxed trace buffers.** Workers buffer emitted rows per shard,
 //!   tagged with the emitting event's key; the coordinator merges them
-//!   into global key order at each barrier. Since windows partition time,
-//!   the concatenation of merged windows is exactly the serial engine's
-//!   strict in-order trace.
+//!   into global key order at each barrier and streams the merged batch
+//!   to the run's [`Observer`]. Since windows partition time, the
+//!   concatenation of merged windows is exactly the serial engine's
+//!   strict in-order stream.
 //! * **Barrier-handled samples.** Periodic clock samples read *every*
 //!   node's clock, so they are executed by the coordinator between
 //!   windows (windows are capped at the next sample time), exactly where
@@ -40,25 +41,35 @@
 //! available parallelism ([`crate::shard::resolve_workers`]), and a
 //! resolved count of one skips the pool entirely and runs the same
 //! windows inline on the calling thread. The pool is hand-rolled
-//! (scoped threads + a spin gate) because the build environment has no
-//! crates.io access; windows are short, so the gate spins briefly
-//! before yielding — and yields immediately when the machine is
-//! oversubscribed.
+//! (a spin/yield/park gate) because the build environment has no
+//! crates.io access; windows are short, so the gate spins briefly before
+//! yielding — and yields immediately when the machine is oversubscribed.
+//!
+//! **The pool persists across `run_until` calls.** Threads are spawned
+//! on the first multi-worker window and stored in the simulation's event
+//! store; between calls they park on a condvar, so a driver stepping the
+//! simulation in fine increments pays no per-call thread-spawn cost.
+//! Each `run_until` publishes a pointer to its per-run window state
+//! through the gate; the stepping-granularity equivalence test in
+//! `tests/observer_equivalence.rs` pins that stepping never changes the
+//! trace.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::engine::{
     run_event, take_sample, EventStore, NodeCell, Pending, QueueKind, RowSink, SimShared, SimStats,
     Simulation,
 };
 use crate::node::NodeId;
+use crate::observe::Observer;
 use crate::shard::{Entry, Key, Partition, Shard};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Row, Trace};
+use crate::trace::Row;
 
 /// The parallel executor's event store: per-shard heaps plus the sample
-/// chain (samples never enter a shard — they are engine-global).
+/// chain (samples never enter a shard — they are engine-global) and the
+/// persistent worker pool.
 pub(crate) struct ParQueue<M> {
     pub(crate) shards: Vec<Shard<Pending<M>>>,
     pub(crate) shard_of: Vec<u32>,
@@ -67,6 +78,10 @@ pub(crate) struct ParQueue<M> {
     /// Pending engine-global sample times (usually one; transiently more
     /// after `set_sample_interval` toggles, mirroring the serial queue).
     pub(crate) pending_samples: Vec<SimTime>,
+    /// Worker threads, spawned lazily on the first multi-worker
+    /// `run_until` and kept alive (parked between runs) until the
+    /// simulation is dropped.
+    pub(crate) pool: Option<PoolHandle>,
 }
 
 impl<M> ParQueue<M> {
@@ -77,6 +92,7 @@ impl<M> ParQueue<M> {
             shard_of: partition.shard_map().to_vec(),
             workers,
             pending_samples: Vec::new(),
+            pool: None,
         }
     }
 
@@ -95,9 +111,10 @@ impl<M> std::fmt::Debug for ParQueue<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ParQueue(shards={}, workers={})",
+            "ParQueue(shards={}, workers={}, pool={})",
             self.shards.len(),
-            self.workers
+            self.workers,
+            if self.pool.is_some() { "live" } else { "-" }
         )
     }
 }
@@ -230,7 +247,10 @@ impl<'a, M> Cells<'a, M> {
     }
 }
 
-/// Coordinator ⇄ worker rendezvous: a sense-counting spin gate.
+/// Coordinator ⇄ worker rendezvous: a sense-counting gate that spins,
+/// then yields, then parks on a condvar. The parking tier is what lets
+/// the pool outlive a `run_until` call without burning CPU between
+/// calls.
 struct Gate {
     /// Incremented by the coordinator to open a window (or to release
     /// workers into shutdown when `stop` is set).
@@ -244,7 +264,23 @@ struct Gate {
     panicked: AtomicBool,
     /// Window cap (exclusive), as `f64::to_bits` of seconds.
     cap_bits: AtomicU64,
+    /// Pointer to the current run's [`Pool`] window state, type-erased.
+    /// Published before the run's first window, cleared after its last;
+    /// workers dereference it only between an epoch open and their done
+    /// acknowledgement.
+    ctx: AtomicPtr<u8>,
+    /// Condvar tier of the epoch wait (workers park here between runs).
+    /// `open`/`shut_down` notify under the lock, so a worker that
+    /// decided to wait while holding it cannot miss the wakeup.
+    lock: Mutex<()>,
+    parked: Condvar,
 }
+
+/// Yield iterations between the spin tier and the condvar tier of an
+/// epoch wait. Within a run, the next window opens within microseconds,
+/// so workers almost never reach the condvar; between runs they park
+/// quickly instead of busy-yielding until the next `run_until` call.
+const YIELDS_BEFORE_PARK: u32 = 64;
 
 impl Gate {
     fn new() -> Self {
@@ -254,6 +290,9 @@ impl Gate {
             stop: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
             cap_bits: AtomicU64::new(0),
+            ctx: AtomicPtr::new(std::ptr::null_mut()),
+            lock: Mutex::new(()),
+            parked: Condvar::new(),
         }
     }
 
@@ -262,19 +301,85 @@ impl Gate {
             .store(cap.as_secs().to_bits(), Ordering::Relaxed);
         self.done.store(0, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
+        // Wake any parked workers. Taking the lock orders this bump
+        // against a worker's decision to wait: the worker re-checks the
+        // epoch while holding the lock, so either it sees the new epoch
+        // or it is already waiting when the notification fires.
+        let _guard = self.lock.lock().expect("gate poisoned");
+        self.parked.notify_all();
     }
 
     fn shut_down(&self) {
         self.stop.store(true, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
+        let _guard = self.lock.lock().expect("gate poisoned");
+        self.parked.notify_all();
     }
 
+    /// Waits until the epoch differs from `seen`: spin, then yield, then
+    /// park.
+    fn wait_epoch(&self, seen: u64, spin_limit: u32) {
+        let mut spins = 0u32;
+        loop {
+            if self.epoch.load(Ordering::Acquire) != seen {
+                return;
+            }
+            if spins < spin_limit {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if spins < spin_limit + YIELDS_BEFORE_PARK {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                let mut guard = self.lock.lock().expect("gate poisoned");
+                while self.epoch.load(Ordering::Acquire) == seen {
+                    guard = self.parked.wait(guard).expect("gate poisoned");
+                }
+                return;
+            }
+        }
+    }
+
+    /// Waits until every worker has acknowledged the current window.
+    /// A panicking worker counts itself done before unwinding, so this
+    /// always terminates for an open window.
     fn wait_done(&self, workers: usize, spin_limit: u32) {
         spin_until(spin_limit, || self.done.load(Ordering::Acquire) >= workers);
     }
 
     fn cap(&self) -> SimTime {
         SimTime::from_secs(f64::from_bits(self.cap_bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// The persistent worker pool: the shared gate plus the OS threads.
+/// Stored inside the simulation's event store; dropped (and joined)
+/// with it.
+pub(crate) struct PoolHandle {
+    gate: Arc<Gate>,
+    /// Worker count the threads were spawned with (later mutations of
+    /// the requested count are ignored — the pool is fixed at spawn).
+    workers: usize,
+    /// Spin budget matched to the core count at spawn time.
+    spin_limit: u32,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for PoolHandle {
+    fn drop(&mut self) {
+        self.gate.shut_down();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked mid-run already delivered its
+            // payload via the coordinator's propagation; the join
+            // result is informational here.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoolHandle(workers={})", self.workers)
     }
 }
 
@@ -324,16 +429,29 @@ impl<M> Clone for Pool<'_, M> {
 }
 impl<M> Copy for Pool<'_, M> {}
 
-impl<M: Clone + Send> Simulation<M> {
+/// Reconstitutes the per-run window state from the gate's type-erased
+/// context pointer.
+///
+/// # Safety
+///
+/// `ptr` must be the pointer published by the current run's coordinator,
+/// and the caller must be inside the open-window span of the gate
+/// protocol (the coordinator keeps the pointee alive until every worker
+/// has acknowledged the window).
+unsafe fn ctx_pool<'x, M>(ptr: *const u8) -> &'x Pool<'x, M> {
+    debug_assert!(!ptr.is_null(), "window opened without a published ctx");
+    unsafe { &*ptr.cast::<Pool<'x, M>>() }
+}
+
+impl<M: Clone + Send + 'static> Simulation<M> {
     /// The parallel twin of the serial `run_until` loop. Called with the
     /// boot phase already done.
-    pub(crate) fn run_parallel(&mut self, until: SimTime) {
+    pub(crate) fn run_parallel(&mut self, until: SimTime, obs: &mut dyn Observer) {
         let Simulation {
             now,
             shared,
             cells,
             store,
-            trace,
             stats,
             ..
         } = self;
@@ -380,7 +498,7 @@ impl<M: Clone + Send> Simulation<M> {
         };
         let mut windows = Windows {
             pending_samples: &mut pq.pending_samples,
-            trace,
+            obs,
             stats,
             lookahead,
             until,
@@ -399,30 +517,40 @@ impl<M: Clone + Send> Simulation<M> {
                 flush_outbox(&mut outbox, &inboxes);
             });
         } else {
-            let gate = Gate::new();
-            let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-            // The coordinator thread also wants a core while workers run.
-            let spin_limit = if avail > nworkers { 256 } else { 0 };
-            std::thread::scope(|scope| {
-                for w in 0..nworkers {
-                    let gate = &gate;
-                    scope.spawn(move || worker_loop(w, nworkers, gate, pool, spin_limit));
+            let handle = pq
+                .pool
+                .get_or_insert_with(|| spawn_pool::<M>(nworkers, nshards));
+            assert!(
+                !handle.gate.panicked.load(Ordering::Relaxed),
+                "a parallel worker died in a previous run; the pool cannot be reused"
+            );
+            let gate = Arc::clone(&handle.gate);
+            let workers = handle.workers;
+            let spin_limit = handle.spin_limit;
+            // Publish this run's window state. Workers read the pointer
+            // only between an epoch open and their done acknowledgement,
+            // and the coordinator keeps `pool` (and everything it
+            // borrows) alive until after the final wait_done — so the
+            // lifetime-erased dereference in the workers stays inside
+            // the pointee's real lifetime.
+            gate.ctx.store(
+                std::ptr::from_ref(&pool).cast::<u8>().cast_mut(),
+                Ordering::Release,
+            );
+            windows.coordinate(pool, |cap| {
+                gate.open(cap);
+                gate.wait_done(workers, spin_limit);
+                if gate.panicked.load(Ordering::Relaxed) {
+                    // Every worker has acknowledged this window (the
+                    // panicking one counts itself done before
+                    // unwinding), so no thread still touches the
+                    // per-run state we are about to unwind. Survivors
+                    // park at the gate; the pool is poisoned and the
+                    // next run (or drop) shuts it down.
+                    panic!("a parallel worker panicked during a lookahead window");
                 }
-                windows.coordinate(pool, |cap| {
-                    gate.open(cap);
-                    gate.wait_done(nworkers, spin_limit);
-                    if gate.panicked.load(Ordering::Relaxed) {
-                        // Release the surviving workers before
-                        // unwinding, or the scope join below would wait
-                        // on them forever. The worker's own panic
-                        // message has already been printed; the scope
-                        // re-raises it after joining.
-                        gate.shut_down();
-                        panic!("a parallel worker panicked during a lookahead window");
-                    }
-                });
-                gate.shut_down();
             });
+            gate.ctx.store(std::ptr::null_mut(), Ordering::Release);
         }
 
         for task in tasks {
@@ -439,11 +567,34 @@ impl<M: Clone + Send> Simulation<M> {
     }
 }
 
-/// The coordinator's per-run state: the sample chain and the trace/stat
-/// accumulators it owns between windows.
+/// Spawns the persistent worker threads for a parallel simulation.
+fn spawn_pool<M: Clone + Send + 'static>(nworkers: usize, nshards: usize) -> PoolHandle {
+    let gate = Arc::new(Gate::new());
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // The coordinator thread also wants a core while workers run.
+    let spin_limit = if avail > nworkers { 256 } else { 0 };
+    let handles = (0..nworkers)
+        .map(|w| {
+            let gate = Arc::clone(&gate);
+            std::thread::Builder::new()
+                .name(format!("ftgcs-worker-{w}"))
+                .spawn(move || worker_loop::<M>(w, nworkers, nshards, &gate, spin_limit))
+                .expect("spawn parallel worker thread")
+        })
+        .collect();
+    PoolHandle {
+        gate,
+        workers: nworkers,
+        spin_limit,
+        handles,
+    }
+}
+
+/// The coordinator's per-run state: the sample chain and the
+/// observer/stat accumulators it owns between windows.
 struct Windows<'a> {
     pending_samples: &'a mut Vec<SimTime>,
-    trace: &'a mut Trace,
+    obs: &'a mut dyn Observer,
     stats: &'a mut SimStats,
     lookahead: SimDuration,
     until: SimTime,
@@ -483,7 +634,7 @@ impl Windows<'_> {
                 self.stats.events += 1;
                 // SAFETY: workers are parked at the gate; the
                 // coordinator is the only thread touching node state.
-                take_sample(unsafe { pool.cells.all() }, ts, self.trace);
+                take_sample(unsafe { pool.cells.all() }, ts, self.obs);
                 if let Some(interval) = pool.shared.config.sample_interval {
                     self.pending_samples.push(ts + interval);
                 }
@@ -513,47 +664,53 @@ impl Windows<'_> {
             run_window(cap);
 
             // Merge this window's relaxed row buffers into global key
-            // order. Windows partition time, so appending merged windows
-            // reproduces the strict serial order exactly.
+            // order and stream them to the observer. Windows partition
+            // time, so the merged windows concatenate to exactly the
+            // strict serial order.
             for task in pool.tasks.iter() {
                 self.rows_batch
                     .append(&mut task.lock().expect("task poisoned").rows);
             }
             self.rows_batch.sort_by_key(|&(key, _)| key);
-            self.trace
-                .rows
-                .extend(self.rows_batch.drain(..).map(|(_, row)| row));
+            for (_, row) in self.rows_batch.drain(..) {
+                self.obs.on_row_owned(row);
+            }
         }
     }
 }
 
-/// One worker: waits at the gate, then advances each of its statically
-/// assigned shards to the window cap and flushes its outbox.
+/// One worker: waits at the gate (spin → yield → park), then advances
+/// each of its statically assigned shards to the window cap and flushes
+/// its outbox. Lives for the whole simulation; between `run_until`
+/// calls it parks on the gate's condvar.
 fn worker_loop<M: Clone + Send>(
     worker: usize,
     nworkers: usize,
+    nshards: usize,
     gate: &Gate,
-    pool: Pool<'_, M>,
     spin_limit: u32,
 ) {
-    let nshards = pool.tasks.len();
     let mut outbox: Vec<Vec<Entry<Pending<M>>>> = (0..nshards).map(|_| Vec::new()).collect();
     let mut seen = 0u64;
     loop {
-        spin_until(spin_limit, || gate.epoch.load(Ordering::Acquire) != seen);
+        gate.wait_epoch(seen, spin_limit);
         seen = seen.wrapping_add(1);
         if gate.stop.load(Ordering::Relaxed) {
             return;
         }
+        // SAFETY: the coordinator published this run's Pool before
+        // opening the window and keeps it alive until every worker has
+        // acknowledged; we acknowledge only after the last dereference.
+        let pool = unsafe { ctx_pool::<M>(gate.ctx.load(Ordering::Acquire)) };
         let cap = gate.cap();
         // A panicking behavior must not strand the coordinator: catch,
-        // flag, count this worker done, and re-raise so the scope join
-        // propagates the original panic. (Unwind safety: the run is
-        // being torn down — the poisoned task mutexes are never read.)
+        // flag, count this worker done, and re-raise so the panic is
+        // reported on this thread. (Unwind safety: the run is being
+        // torn down — the poisoned task mutexes are never read.)
         let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut s = worker;
             while s < nshards {
-                advance_shard(s, cap, pool, &mut outbox);
+                advance_shard(s, cap, *pool, &mut outbox);
                 s += nworkers;
             }
             flush_outbox(&mut outbox, pool.inboxes);
@@ -693,6 +850,46 @@ mod tests {
                 "parallel trace diverged at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn pool_survives_many_fine_grained_steps() {
+        // Stepping in many small increments must reuse the persistent
+        // pool (one spawn) and reproduce the one-shot trace exactly.
+        let one_shot = run(SchedulerKind::Parallel {
+            partition: Partition::by_blocks(8, 2),
+            workers: 2,
+        });
+        let config = SimConfig {
+            seed: 11,
+            sample_interval: Some(SimDuration::from_millis(20.0)),
+            scheduler: SchedulerKind::Parallel {
+                partition: Partition::by_blocks(8, 2),
+                workers: 2,
+            },
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(config);
+        let n = 8;
+        let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(Box::new(Beater))).collect();
+        for i in 0..n {
+            b.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        let mut sim = b.build();
+        if let crate::engine::EventStore::Parallel(pq) = &mut sim.store {
+            pq.workers = 2; // force the pooled path regardless of cores
+        }
+        for _ in 0..150 {
+            sim.run_for(SimDuration::from_millis(5.0));
+        }
+        if let crate::engine::EventStore::Parallel(pq) = &sim.store {
+            assert!(pq.pool.is_some(), "pool must persist across steps");
+        }
+        assert_eq!(
+            sim.into_trace().to_bytes(),
+            one_shot,
+            "stepping granularity changed the trace"
+        );
     }
 
     #[test]

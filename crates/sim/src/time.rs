@@ -201,6 +201,19 @@ impl SimDuration {
     }
 }
 
+/// Seconds convert implicitly where an `impl Into<SimDuration>` is
+/// accepted (e.g. `Scenario::run_for(2.0)` in the `ftgcs` crate runs
+/// for two simulated seconds).
+///
+/// # Panics
+///
+/// Panics if `secs` is NaN.
+impl From<f64> for SimDuration {
+    fn from(secs: f64) -> Self {
+        SimDuration::from_secs(secs)
+    }
+}
+
 impl fmt::Debug for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SimDuration({:.9}s)", self.0)

@@ -1,0 +1,18 @@
+# F1 — pulse-diameter convergence: measured |p(r)| vs the geometric
+# theory curve e(r+1) = a*e(r) + b, one pair of curves per fault budget.
+set terminal svg size 760,520 font 'Helvetica,12' background rgb 'white'
+set output 'figures/f1_cluster_convergence.svg'
+set datafile separator comma
+set key autotitle columnhead top right
+set title 'F1 — single-cluster convergence: pulse diameter per round'
+set xlabel 'round r'
+set ylabel '‖p(r)‖ (s)'
+set logscale y
+set format y '%.0e'
+set grid ytics
+plot for [f=0:2] 'results/f1_cluster_convergence.csv' \
+         using 3:($1 == f ? $4 : 1/0) with linespoints lw 2 pt 7 \
+         title sprintf('f = %d measured', f), \
+     for [f=0:2] '' \
+         using 3:($1 == f ? $5 : 1/0) with lines dashtype 2 lw 1 \
+         title sprintf('f = %d theory', f)

@@ -1,0 +1,19 @@
+# F2 — worst local skew vs diameter: FTGCS's near-flat O(log D) curve
+# against the master/slave tree's linear D·U wavefront and free-running
+# clocks, on log-log axes.
+set terminal svg size 760,520 font 'Helvetica,12' background rgb 'white'
+set output 'figures/f2_local_skew_vs_diameter.svg'
+set datafile separator comma
+set key autotitle columnhead top left
+set title 'F2 — local skew vs diameter under stretch→compress'
+set xlabel 'diameter D'
+set ylabel 'worst local skew (s)'
+set logscale xy
+set format y '%.0e'
+set grid ytics
+plot 'results/f2_local_skew_vs_diameter.csv' \
+         using 1:2 with linespoints lw 2 pt 7 title 'FTGCS', \
+     '' using 1:3 with lines dashtype 2 lw 1 title 'FTGCS bound (Thm 1.1)', \
+     '' using 1:4 with linespoints lw 2 pt 5 title 'master/slave wavefront', \
+     '' using 1:5 with lines dashtype 3 lw 1 title 'tree theory D·U', \
+     '' using 1:6 with linespoints lw 1 pt 9 title 'free-run'

@@ -1,0 +1,15 @@
+# F3 — the gradient property over time: global skew grows toward its
+# Θ(D) ceiling while local skew stays pinned near the logarithmic bound.
+set terminal svg size 760,520 font 'Helvetica,12' background rgb 'white'
+set output 'figures/f3_skew_traces.svg'
+set datafile separator comma
+set key autotitle columnhead top right
+set title 'F3 — local vs global skew over time (adversarial rate split)'
+set xlabel 'simulated time (s)'
+set ylabel 'skew (s)'
+set logscale y
+set format y '%.0e'
+set grid ytics
+plot 'results/f3_skew_traces.csv' \
+         using 1:2 with linespoints lw 2 pt 7 title 'local skew', \
+     '' using 1:3 with linespoints lw 2 pt 5 title 'global skew'

@@ -1,0 +1,22 @@
+# F4 — attack matrix: intra-cluster and local skew per Byzantine
+# strategy (bars), against the paper bounds (points). The final
+# over-budget row shows the bounds are not vacuous.
+set terminal svg size 900,540 font 'Helvetica,11' background rgb 'white'
+set output 'figures/f4_attack_matrix.svg'
+set datafile separator comma
+set key autotitle columnhead top left
+set title 'F4 — skew under every attack strategy × fault budget'
+set ylabel 'post-warmup max skew (s)'
+set logscale y
+set format y '%.0e'
+set grid ytics
+set style data histogram
+set style histogram clustered gap 1
+set style fill solid 0.75 border -1
+set boxwidth 0.9
+set xtics rotate by -35
+plot 'results/f4_attack_matrix.csv' \
+         using 5:xtic(stringcolumn(3).' f='.stringcolumn(1)) title 'intra-cluster', \
+     '' using 7 title 'local', \
+     '' using 0:6 with points pt 2 ps 1.2 lc rgb 'black' title 'intra bound', \
+     '' using 0:8 with points pt 6 ps 1.2 lc rgb 'black' title 'local bound'

@@ -1,0 +1,16 @@
+# F5 — one Byzantine liar destroys plain GCS (monotone divergence);
+# FTGCS with a liar in every cluster stays below its bound.
+set terminal svg size 760,520 font 'Helvetica,12' background rgb 'white'
+set output 'figures/f5_gcs_vs_ftgcs.svg'
+set datafile separator comma
+set key autotitle columnhead top left
+set title 'F5 — plain GCS vs FTGCS under Byzantine faults'
+set xlabel 'simulated time (s)'
+set ylabel 'local skew between correct neighbors (s)'
+set logscale y
+set format y '%.0e'
+set grid ytics
+plot 'results/f5_gcs_vs_ftgcs.csv' \
+         using 1:2 with linespoints lw 2 pt 5 title 'plain GCS (1 liar)', \
+     '' using 1:3 with linespoints lw 2 pt 7 title 'FTGCS (1 liar per cluster)', \
+     '' using 1:4 with lines dashtype 2 lw 1 title 'FTGCS bound (Thm 1.1)'

@@ -52,6 +52,7 @@ pub mod collection {
 /// Everything a test file needs: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 
     /// Namespace alias mirroring `proptest::prelude::prop`.

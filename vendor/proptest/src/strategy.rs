@@ -80,3 +80,4 @@ macro_rules! tuple_strategy {
 tuple_strategy!(A, B);
 tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
