@@ -304,7 +304,7 @@ pub fn list_dir(dir: &Path) -> Result<(), String> {
 /// Keeps `Observer` in scope for the module docs' claim that the
 /// streaming path is observer-driven (and asserts the trait stays
 /// object-safe, which `Fanout` and `run_streaming` rely on).
-#[allow(dead_code)]
+#[allow(dead_code)] // compile-time object-safety assertion, deliberately never called
 fn _observer_is_object_safe(obs: &mut dyn Observer) {
     let _ = obs;
 }

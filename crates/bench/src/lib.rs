@@ -13,6 +13,10 @@
 //! measurement, and CSV output.
 
 #![warn(missing_docs)]
+// Unsafety discipline (enforced by `ftgcs-lint`): this crate must
+// compile with no `unsafe` at all; the one sanctioned unsafe region in
+// the workspace is `ftgcs-sim`'s parallel executor (sim/src/par.rs).
+#![deny(unsafe_code)]
 
 pub mod driver;
 pub mod exp;

@@ -87,7 +87,7 @@ fn pick_delay(kind: u64) -> DelayDistribution {
 }
 
 /// Builds a spec from raw generated integers — every field exercised.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // proptest feeds every spec field through one flat strategy tuple
 fn assemble(
     topo: (u64, usize, usize),
     f: usize,

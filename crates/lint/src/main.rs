@@ -1,0 +1,61 @@
+//! The `ftgcs-lint` binary: the CI gate for the determinism discipline.
+//!
+//! ```text
+//! ftgcs-lint check [PATH]   # exit 0 iff clean (default PATH: .)
+//! ftgcs-lint rules          # list rules and their rationale
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            if args.len() > 2 {
+                return usage();
+            }
+            let root = args.get(1).map_or(".", String::as_str);
+            check(Path::new(root))
+        }
+        Some("rules") => {
+            for rule in ftgcs_lint::rules::RULES {
+                println!("{:<22} {}", rule.name, rule.summary);
+            }
+            println!(
+                "\nsuppress per line with: // ftgcs-lint: allow(<rule>) -- <reason> (reason mandatory)"
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn check(root: &Path) -> ExitCode {
+    match ftgcs_lint::check_path(root) {
+        Ok(report) => {
+            if report.is_clean() {
+                println!(
+                    "ftgcs-lint: clean — {} file(s) audited under {}",
+                    report.files_scanned,
+                    root.display()
+                );
+                ExitCode::SUCCESS
+            } else {
+                print!("{}", report.render());
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("ftgcs-lint: cannot check {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ftgcs-lint check [PATH] | ftgcs-lint rules");
+    ExitCode::from(2)
+}

@@ -1,0 +1,401 @@
+//! Lexical pre-pass: split Rust source into per-line **code** and
+//! **comment** channels.
+//!
+//! The rules in [`crate::rules`] are substring matchers, so they must
+//! never fire on text inside comments, string literals, or char
+//! literals — a doc comment *describing* `Instant::now` is not a
+//! determinism violation. This module walks the source once with a
+//! small state machine that understands:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * block comments (`/* … */`, nested, possibly spanning lines),
+//! * string literals with escapes (`"…\"…"`), byte strings (`b"…"`),
+//! * raw (byte) strings with any hash depth (`r#"…"#`, `br##"…"##`),
+//! * char and byte-char literals (`'a'`, `'\n'`, `b'x'`) versus
+//!   lifetimes (`'a`, `'static`).
+//!
+//! The output preserves line structure exactly: `lines[i]` describes
+//! source line `i + 1`. String and char *contents* are blanked out of
+//! the code channel (the delimiters remain, so the code still "shapes"
+//! like Rust); comment text is routed to the comment channel, where the
+//! pragma parser and the `SAFETY:` check read it.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line's code with string/char contents blanked and comments
+    /// removed. Delimiters (`"`, `'`) survive.
+    pub code: String,
+    /// Concatenated text of every comment on the line, without the
+    /// `//` / `/*` / `*/` markers.
+    pub comment: String,
+}
+
+impl Line {
+    /// True if the line carries no code at all (blank, or comment-only).
+    pub fn is_code_free(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// True if the line is *blank*: no code and no comment.
+    pub fn is_blank(&self) -> bool {
+        self.is_code_free() && self.comment.trim().is_empty()
+    }
+
+    /// True if the line's code is exactly an attribute (`#[…]` or
+    /// `#![…]`), which rule logic treats as "transparent" when walking
+    /// upward from an `unsafe` site to its SAFETY comment.
+    pub fn is_attribute_only(&self) -> bool {
+        let code = self.code.trim();
+        (code.starts_with("#[") || code.starts_with("#![")) && code.ends_with(']')
+    }
+}
+
+/// Scanner state between characters.
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth (≥ 1).
+    BlockComment(u32),
+    /// Inside `"…"` or `b"…"` (escapes active).
+    Str,
+    /// Inside a raw string; the payload is the hash depth of the
+    /// closing delimiter (`"##…`).
+    RawStr(u32),
+    /// Inside a char / byte-char literal (escapes active).
+    CharLit,
+}
+
+/// Splits `source` into per-line code/comment channels.
+///
+/// The scanner is intentionally forgiving: malformed source (an
+/// unterminated string, say) cannot panic — the remainder of the file
+/// is simply classified by the open state. `rustc` is the authority on
+/// syntax; this pass only needs to be *sound enough* that the
+/// substring rules neither fire inside literals nor miss real code.
+pub fn scan(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // True when chars[i - 1] continues an identifier, so a following
+    // `r"` / `b"` is *not* a literal prefix (e.g. `var"` never parses,
+    // but defensiveness here is free).
+    let mut prev_ident = false;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Newline ends line comments; every other state persists.
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    prev_ident = false;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    prev_ident = false;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    prev_ident = false;
+                } else if !prev_ident && (c == 'r' || c == 'b') {
+                    // Literal prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+                    let (prefix_len, kind) = literal_prefix(&chars[i..]);
+                    match kind {
+                        PrefixKind::RawStr(hashes) => {
+                            line.code.push('"');
+                            state = State::RawStr(hashes);
+                            i += prefix_len;
+                        }
+                        PrefixKind::Str => {
+                            line.code.push('"');
+                            state = State::Str;
+                            i += prefix_len;
+                        }
+                        PrefixKind::Char => {
+                            line.code.push('\'');
+                            state = State::CharLit;
+                            i += prefix_len;
+                        }
+                        PrefixKind::None => {
+                            line.code.push(c);
+                            prev_ident = true;
+                            i += 1;
+                        }
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime?
+                    if is_char_literal(&chars[i..]) {
+                        line.code.push('\'');
+                        state = State::CharLit;
+                    } else {
+                        line.code.push('\'');
+                        prev_ident = false;
+                    }
+                    i += 1;
+                } else {
+                    line.code.push(c);
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        // Keep comment segments separated so "SAF" "ETY"
+                        // across two comments can't merge into a hit.
+                        line.comment.push(' ');
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char (it may be a quote) — but
+                    // never a newline: a `\`-continuation still has to
+                    // end the current line in the output.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blank string contents
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars[i + 1..], hashes) {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A final line without a trailing newline still counts.
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+enum PrefixKind {
+    None,
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Detects a literal prefix at the start of `rest` (which begins with
+/// `r` or `b`). Returns the number of chars to consume *including the
+/// opening quote*.
+fn literal_prefix(rest: &[char]) -> (usize, PrefixKind) {
+    let mut j;
+    if rest[0] == 'b' {
+        if rest.get(1) == Some(&'\'') {
+            return (2, PrefixKind::Char); // b'…'
+        }
+        if rest.get(1) == Some(&'"') {
+            return (2, PrefixKind::Str); // b"…"
+        }
+        if rest.get(1) != Some(&'r') {
+            return (0, PrefixKind::None);
+        }
+        j = 2; // br…
+    } else {
+        j = 1; // r…
+    }
+    // At this point rest[..j] is `r` or `br`; count hashes then expect `"`.
+    let mut hashes = 0u32;
+    while rest.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if rest.get(j) == Some(&'"') {
+        (j + 1, PrefixKind::RawStr(hashes))
+    } else {
+        (0, PrefixKind::None)
+    }
+}
+
+/// True if the `'` starting `rest` opens a char literal rather than a
+/// lifetime. `'a'` is a char; `'a`, `'static`, `'_` are lifetimes;
+/// `'\n'` and `'('` are chars.
+fn is_char_literal(rest: &[char]) -> bool {
+    match rest.get(1) {
+        None => false,
+        Some('\\') => true,
+        Some(&c) if c.is_alphanumeric() || c == '_' => rest.get(2) == Some(&'\''),
+        // Any other single char (`'('`, `' '`, `'🦀'`) must be a literal.
+        Some(_) => true,
+    }
+}
+
+/// True if `rest` (the chars after a `"` inside a raw string) supplies
+/// `hashes` consecutive `#`s, closing the literal.
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    fn comments(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.comment).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code() {
+        let lines = scan("let x = 1; // Instant::now\nlet y = 2;");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " Instant::now");
+        assert_eq!(lines[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = code("let s = \"Instant::now\"; f(s);");
+        assert_eq!(c[0], "let s = \"\"; f(s);");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = code(r#"let s = "a\"Instant::now\"b"; g();"#);
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("g();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = code(r###"let s = r#"thread_rng " inside"#; h();"###);
+        assert!(!c[0].contains("thread_rng"));
+        assert!(c[0].contains("h();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let c = code(r###"let a = b"HashMap"; let b2 = br#"HashSet"#; k();"###);
+        assert!(!c[0].contains("HashMap"));
+        assert!(!c[0].contains("HashSet"));
+        assert!(c[0].contains("k();"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let src = "a(); /* outer /* inner SystemTime */ still out */ b();\nc();";
+        let lines = scan(src);
+        assert_eq!(lines[0].code, "a();  b();");
+        assert!(lines[0].comment.contains("SystemTime"));
+        assert_eq!(lines[1].code, "c();");
+    }
+
+    #[test]
+    fn multi_line_block_comment_marks_every_line() {
+        let src = "x(); /* one\ntwo\nthree */ y();";
+        let lines = scan(src);
+        assert_eq!(lines[0].code, "x(); ");
+        assert!(lines[1].code.trim().is_empty());
+        assert!(lines[1].comment.contains("two"));
+        assert_eq!(lines[2].code, " y();");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = code("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(c[0].contains("'a>"));
+        assert!(c[0].contains("'static"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let c = code("let q = '\"'; let n = '\\n'; let ch = 'Q'; m();");
+        // The quote char inside '"' must not open a string literal.
+        assert!(c[0].contains("m();"));
+        // Char contents are blanked like string contents.
+        assert!(!c[0].contains('Q'));
+    }
+
+    #[test]
+    fn multi_line_strings_blank_interior_lines() {
+        let src = "let s = \"line one\nInstant::now\nlast\"; tail();";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("Instant"));
+        assert!(lines[2].code.contains("tail();"));
+    }
+
+    #[test]
+    fn doc_comments_go_to_the_comment_channel() {
+        let lines = scan("/// uses SystemTime internally\nfn f() {}");
+        assert!(lines[0].is_code_free());
+        assert!(lines[0].comment.contains("SystemTime"));
+        assert!(!lines[0].is_blank());
+    }
+
+    #[test]
+    fn attribute_detection() {
+        let lines = scan("#[allow(dead_code)]\n#![deny(unsafe_code)]\nfn f() {}");
+        assert!(lines[0].is_attribute_only());
+        assert!(lines[1].is_attribute_only());
+        assert!(!lines[2].is_attribute_only());
+    }
+
+    #[test]
+    fn missing_trailing_newline_keeps_last_line() {
+        assert_eq!(comments("x(); // tail"), vec![" tail".to_string()]);
+    }
+}

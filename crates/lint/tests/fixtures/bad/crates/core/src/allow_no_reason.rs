@@ -1,0 +1,4 @@
+//! Bad: a bare allow attribute with no trailing justification.
+
+#[allow(dead_code)]
+fn orphan() {}

@@ -1,0 +1,7 @@
+//! Bad: spawns a thread outside the parallel executor.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}

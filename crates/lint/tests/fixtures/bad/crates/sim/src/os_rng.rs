@@ -1,0 +1,6 @@
+//! Bad: draws entropy from the OS instead of the run seed.
+
+pub fn jitter() -> u64 {
+    let state = std::collections::hash_map::RandomState::new();
+    std::hash::BuildHasher::hash_one(&state, 17u8)
+}

@@ -1,0 +1,8 @@
+//! Bad: a suppression pragma without the mandatory reason. The pragma
+//! itself is reported AND it suppresses nothing, so the underlying
+//! violation is reported too.
+
+pub fn now_bits() -> u32 {
+    let t = std::time::Instant::now(); // ftgcs-lint: allow(no-wall-clock)
+    t.elapsed().subsec_nanos()
+}

@@ -1,0 +1,6 @@
+//! Bad: a pragma naming a rule that does not exist.
+
+// ftgcs-lint: allow(no-such-rule) -- this rule name is a typo
+pub fn fine() -> u32 {
+    41 + 1
+}

@@ -1,0 +1,5 @@
+//! Bad: library code writing to the process streams.
+
+pub fn report(skew: f64) {
+    println!("skew = {skew}");
+}

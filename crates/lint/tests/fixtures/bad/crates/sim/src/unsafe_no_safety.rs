@@ -1,0 +1,6 @@
+//! Bad: an unsafe block with no SAFETY comment.
+
+pub fn first(xs: &[u32]) -> u32 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

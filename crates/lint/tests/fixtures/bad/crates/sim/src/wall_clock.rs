@@ -1,0 +1,6 @@
+//! Bad: reads the host clock inside simulation code.
+
+pub fn elapsed_ms() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}

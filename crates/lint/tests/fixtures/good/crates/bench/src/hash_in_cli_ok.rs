@@ -1,0 +1,8 @@
+//! Good: std hash collections are fine outside the order-sensitive
+//! crates (bench never feeds iteration order into a trace).
+
+use std::collections::HashMap;
+
+pub fn index(names: &[String]) -> HashMap<&str, usize> {
+    names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect()
+}

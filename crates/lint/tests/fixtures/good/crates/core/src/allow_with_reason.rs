@@ -1,0 +1,9 @@
+//! Good: allows carry their justification inline.
+
+#[allow(dead_code)] // proof artifact: exercised only by the proptest suite
+fn witness() {}
+
+#[allow(clippy::int_plus_one)] // mirror the paper's k >= 3f+1 form
+pub fn quorum_ok(k: usize, f: usize) -> bool {
+    k >= 3 * f + 1
+}

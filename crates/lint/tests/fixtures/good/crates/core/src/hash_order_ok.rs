@@ -1,0 +1,11 @@
+//! Good: ordered collections in an order-sensitive crate.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

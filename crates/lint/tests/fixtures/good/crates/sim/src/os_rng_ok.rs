@@ -1,0 +1,13 @@
+//! Good: deterministic, seed-derived randomness.
+
+pub struct SeededRng(u64);
+
+impl SeededRng {
+    pub fn from_seed(seed: u64) -> Self {
+        SeededRng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}

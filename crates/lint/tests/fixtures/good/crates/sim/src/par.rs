@@ -1,0 +1,9 @@
+//! Good: thread spawning is sanctioned in exactly this file — the
+//! parallel executor (mirrors crates/sim/src/par.rs).
+
+pub fn spawn_worker() -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("ftgcs-worker-0".into())
+        .spawn(|| {})
+        .expect("spawn worker")
+}

@@ -1,0 +1,12 @@
+//! Good: violations waived by well-formed pragmas, same-line and
+//! own-line, each with a reason.
+
+pub fn profile() -> u128 {
+    let t0 = std::time::Instant::now(); // ftgcs-lint: allow(no-wall-clock) -- host-side profiling helper, never feeds the trace
+    t0.elapsed().as_nanos()
+}
+
+pub fn helper() -> std::thread::JoinHandle<()> {
+    // ftgcs-lint: allow(no-thread-spawn) -- fixture exercising the own-line pragma form
+    std::thread::spawn(|| {})
+}

@@ -1,0 +1,18 @@
+//! Good: every unsafe site carries its proof obligation.
+
+pub fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    let p = xs.as_ptr();
+    // SAFETY: `p` points at element 0 of a non-empty, live slice.
+    unsafe { *p }
+}
+
+/// Reads one element without a bounds check.
+///
+/// # Safety
+///
+/// `idx` must be in bounds for `xs`.
+pub unsafe fn get_unchecked(xs: &[u32], idx: usize) -> u32 {
+    // SAFETY: in-bounds per this function's caller contract.
+    unsafe { *xs.as_ptr().add(idx) }
+}

@@ -1,0 +1,7 @@
+//! Good: `Instant::now` appears only in a comment and a string — the
+//! scanner must not fire on either.
+
+/// Unlike `Instant::now`, simulated time comes from the engine.
+pub fn banner() -> &'static str {
+    "never call Instant::now or SystemTime in simulation code"
+}

@@ -1,0 +1,35 @@
+//! The lint gate, locally: `cargo test` runs `ftgcs-lint` over the
+//! real workspace, so a determinism-discipline violation fails the
+//! ordinary test suite — not just the CI step that runs the binary.
+
+use std::path::Path;
+
+use ftgcs_lint::check_path;
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").exists(), "workspace root not found");
+
+    let report = check_path(&root).expect("workspace readable");
+
+    // Guard against a silently broken walker: the workspace has well
+    // over 100 first-party Rust files, and the walker must be looking
+    // at the real tree (not an empty or wrong directory) for the
+    // cleanliness assertion below to mean anything.
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+
+    assert!(
+        report.is_clean(),
+        "determinism-discipline violations in the workspace:\n{}",
+        report.render()
+    );
+}

@@ -47,12 +47,22 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Unsafety discipline (enforced by `ftgcs-lint`): the only sanctioned
+// unsafe region in the workspace is the parallel executor's raw-pointer
+// cell machinery, scoped to `par` below. Everything else in this crate
+// is forbidden from using `unsafe` at all.
+#![deny(unsafe_code)]
+// Library output goes through the `Observer` sink, never the process
+// streams — a stray println inside the engine would interleave
+// nondeterministically with worker threads.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod clock;
 pub mod engine;
 pub mod network;
 pub mod node;
 pub mod observe;
+#[allow(unsafe_code)] // sanctioned: par's raw-pointer cells, all SAFETY-commented
 pub mod par;
 pub mod rng;
 pub mod shard;

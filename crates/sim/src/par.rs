@@ -217,9 +217,17 @@ impl<M> Clone for Cells<'_, M> {
 }
 impl<M> Copy for Cells<'_, M> {}
 
-// SAFETY: see the struct-level contract — all aliasing is excluded by
-// the static shard→worker assignment and the barrier protocol.
+// SAFETY: sending a `Cells` to a worker moves only the raw pointer; the
+// pointees (`NodeCell<M>`, which embed the boxed `Behavior` and staged
+// `M` payloads) cross the thread boundary with it, hence `M: Send`.
+// Which thread may then *dereference* which cell is governed by the
+// struct-level contract above.
 unsafe impl<M: Send> Send for Cells<'_, M> {}
+// SAFETY: `&Cells` exposes no `&`-reachable cell data — every access
+// goes through the `unsafe fn cell`/`all` below, whose callers must
+// hold exclusive logical ownership per the struct-level contract, so
+// sharing the handle itself between threads is sound (`M: Send`, not
+// `M: Sync`, is the right bound: cells are handed off, never shared).
 unsafe impl<M: Send> Sync for Cells<'_, M> {}
 
 impl<'a, M> Cells<'a, M> {
@@ -231,18 +239,37 @@ impl<'a, M> Cells<'a, M> {
         }
     }
 
-    /// One node's cell. Caller must hold exclusive logical ownership of
-    /// this node per the struct-level contract.
-    #[allow(clippy::mut_from_ref)]
+    /// One node's cell.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold exclusive logical ownership of node `idx`
+    /// per the struct-level contract: either it is the worker whose
+    /// window currently owns `idx`'s shard, or it is the coordinator
+    /// between windows.
+    #[allow(clippy::mut_from_ref)] // the &mut really is derived from a raw pointer, not from &self
     unsafe fn cell(&self, idx: usize) -> &mut NodeCell<M> {
         debug_assert!(idx < self.len);
+        // SAFETY: `ptr..ptr+len` is a live `&mut [NodeCell<M>]` borrow
+        // held exclusively by this `Cells` (constructor invariant), so
+        // `idx < len` stays in bounds; uniqueness of the returned &mut
+        // is the caller's obligation above.
         unsafe { &mut *self.ptr.add(idx) }
     }
 
-    /// The whole slice. Caller must be the only thread touching any
-    /// cell (coordinator between windows).
-    #[allow(clippy::mut_from_ref)]
+    /// The whole slice.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread touching *any* cell — in
+    /// practice, the coordinator between windows (workers parked at
+    /// the gate).
+    #[allow(clippy::mut_from_ref)] // the &mut really is derived from a raw pointer, not from &self
     unsafe fn all(&self) -> &mut [NodeCell<M>] {
+        // SAFETY: `ptr` and `len` come verbatim from the exclusive
+        // slice borrow captured at construction, which outlives `self`
+        // via the PhantomData lifetime; exclusivity is the caller's
+        // obligation above.
         unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
     }
 }
@@ -440,6 +467,14 @@ impl<M> Copy for Pool<'_, M> {}
 /// has acknowledged the window).
 unsafe fn ctx_pool<'x, M>(ptr: *const u8) -> &'x Pool<'x, M> {
     debug_assert!(!ptr.is_null(), "window opened without a published ctx");
+    // SAFETY: the coordinator stored this pointer from a live
+    // `&Pool<M>` of the same monomorphization (workers and coordinator
+    // share the simulation's single `M`) before opening the window, and
+    // the caller contract pins the dereference inside the span where
+    // the pointee is kept alive; `Pool` is `Copy + Sync`, so a shared
+    // reference from another thread is sound. The `Ordering::Acquire`
+    // load that produced `ptr` pairs with the coordinator's `Release`
+    // store, making the pointee's initialization visible.
     unsafe { &*ptr.cast::<Pool<'x, M>>() }
 }
 
