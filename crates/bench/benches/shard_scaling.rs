@@ -13,6 +13,16 @@
 //! bulk merges, and — for the parallel groups — how much of each
 //! `d − U` lookahead window the workers can overlap versus barrier
 //! overhead.
+//!
+//! The `hub` groups run a **hub-and-spoke** cluster star under a ragged
+//! partition (one shard holding the hub cluster plus a third of the
+//! spokes, singleton shards for the rest) — the shape that pinned most
+//! of every window on worker 0 under the old static `shard % workers`
+//! assignment. The final "bench" prints `balance/...` lines recording
+//! each worker's *dealt* share of all events
+//! (`Simulation::planned_worker_events`, deterministic on any machine);
+//! `scripts/bench.sh` captures them into `BENCH_shard_scaling.json`,
+//! where no worker may exceed 60%.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftgcs::params::Params;
@@ -77,9 +87,37 @@ fn parallel_for(workers: usize) -> SchedulerKind {
     }
 }
 
-/// One free-run iteration under `scheduler`.
-fn free_run_once(scheduler: SchedulerKind) -> u64 {
-    let cg = cluster_graph();
+/// Hub-and-spoke cluster star for the balance benches.
+fn hub_graph() -> ClusterGraph {
+    ClusterGraph::new(generators::star(CLUSTERS), K, 1)
+}
+
+/// The ragged partition over the star: the hub cluster plus the first
+/// third of the spokes share shard 0; every other spoke cluster is a
+/// singleton shard.
+fn hub_partition() -> Partition {
+    let heavy = CLUSTERS / 3;
+    let assignment: Vec<usize> = (0..CLUSTERS * K)
+        .map(|node| {
+            let cluster = node / K;
+            if cluster < heavy {
+                0
+            } else {
+                cluster - heavy + 1
+            }
+        })
+        .collect();
+    Partition::from_assignment(assignment)
+}
+
+/// One free-run iteration of `cg` under `scheduler`, optionally pinning
+/// the executor count; returns total events and the dealt per-worker
+/// loads (parallel schedulers only).
+fn free_run_graph(
+    cg: &ClusterGraph,
+    scheduler: SchedulerKind,
+    pin: Option<usize>,
+) -> (u64, Option<Vec<u64>>) {
     let config = SimConfig {
         delay: DelayConfig::new(
             SimDuration::from_millis(1.0),
@@ -100,8 +138,18 @@ fn free_run_once(scheduler: SchedulerKind) -> u64 {
         builder.add_edge(NodeId(a), NodeId(b2));
     }
     let mut sim = builder.build();
+    if let Some(workers) = pin {
+        sim.pin_workers(workers);
+    }
     sim.run_until(SimTime::from_secs(1.0));
-    sim.stats().events
+    let events = sim.stats().events;
+    let loads = sim.planned_worker_events().map(<[u64]>::to_vec);
+    (events, loads)
+}
+
+/// One free-run iteration under `scheduler` (line-of-cliques graph).
+fn free_run_once(scheduler: SchedulerKind) -> u64 {
+    free_run_graph(&cluster_graph(), scheduler, None).0
 }
 
 /// One full-ClusterSync iteration under `scheduler`.
@@ -162,11 +210,60 @@ fn bench_cluster_second_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hub_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_scaling_hub_parallel");
+    group.sample_size(10);
+    let cg = hub_graph();
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(
+                    free_run_graph(
+                        &cg,
+                        SchedulerKind::Parallel {
+                            partition: hub_partition(),
+                            workers: w,
+                        },
+                        Some(w),
+                    )
+                    .0,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Not a timing group: one deterministic hub-and-spoke run at 4 pinned
+/// workers, printing each worker's dealt share of all events. The
+/// shares are a pure function of `(seed, config, worker count)` — see
+/// `Simulation::planned_worker_events` — so the recorded numbers are
+/// identical on every machine; `scripts/bench.sh` captures them into
+/// `BENCH_shard_scaling.json` and the acceptance bar is share < 0.60.
+fn report_hub_balance(_c: &mut Criterion) {
+    let (events, loads) = free_run_graph(
+        &hub_graph(),
+        SchedulerKind::Parallel {
+            partition: hub_partition(),
+            workers: 1,
+        },
+        Some(4),
+    );
+    let loads = loads.expect("parallel scheduler records dealt loads");
+    let dealt: u64 = loads.iter().sum();
+    for (w, &load) in loads.iter().enumerate() {
+        let share = load as f64 / dealt as f64;
+        println!("balance/hub_free_run_w4/worker{w}: share {share:.4} ({load} of {dealt} dealt, {events} events)");
+    }
+}
+
 criterion_group!(
     benches,
     bench_free_run_scaling,
     bench_free_run_parallel,
     bench_cluster_second_scaling,
-    bench_cluster_second_parallel
+    bench_cluster_second_parallel,
+    bench_hub_parallel,
+    report_hub_balance
 );
 criterion_main!(benches);

@@ -169,6 +169,46 @@ impl SimStats {
     }
 }
 
+/// A run that stopped early for a structural reason (as opposed to a
+/// behavior panic, which unwinds).
+///
+/// Returned by [`Simulation::try_run_until`]. Everything processed
+/// before the stop is preserved: the trace holds every emitted row and
+/// sample, [`Simulation::now`] reports how far the run got, and the
+/// simulation stays usable (workers parked, queues intact) — though a
+/// retry of the same horizon reports the same error again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The parallel scheduler's conservative lookahead `d − U` fell
+    /// below the f64 time resolution at the current simulation time, so
+    /// no window can advance: `at + lookahead == at` in f64. This is a
+    /// livelock, not a soundness issue — it occurs only at extreme
+    /// magnitudes (`t / (d − U)` beyond ~2⁵³) where the float timeline
+    /// itself can no longer separate events by the minimum delay.
+    LookaheadVanished {
+        /// The barrier time the run could not advance past.
+        at: SimTime,
+        /// The configured lookahead that vanished.
+        lookahead: SimDuration,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RunError::LookaheadVanished { at, lookahead } => write!(
+                f,
+                "lookahead {} s vanishes at t = {at} (below f64 resolution): \
+                 parallel windows cannot advance",
+                lookahead.as_secs()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// All mutable state owned by one node: its clock, tracks, timer slab,
 /// and RNG streams. Behaviors only ever touch their own `NodeState`
 /// (via [`Ctx`]), which is the disjointness the parallel executor
@@ -1063,6 +1103,21 @@ impl<M: Clone + Send + 'static> Simulation<M> {
     /// [`Simulation::run_until_with`] pointed at that trace, which is
     /// the collect-everything [`Observer`].
     pub fn run_until(&mut self, until: SimTime) {
+        if let Err(e) = self.try_run_until(until) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`Simulation::run_until`]: structural stops
+    /// (see [`RunError`]) come back as `Err` instead of a panic.
+    ///
+    /// On `Err`, everything processed before the stop is preserved —
+    /// the trace holds every row and sample emitted so far,
+    /// [`Simulation::now`] reports the stuck time, and the simulation
+    /// (including a parallel worker pool, parked cleanly at its gate)
+    /// stays alive. Behavior panics still unwind, with the same
+    /// partial-trace preservation.
+    pub fn try_run_until(&mut self, until: SimTime) -> Result<(), RunError> {
         let mut trace = std::mem::take(&mut self.trace);
         // Restore the trace even if a behavior panics, so everything
         // recorded up to the panic stays inspectable (the historical
@@ -1070,11 +1125,12 @@ impl<M: Clone + Send + 'static> Simulation<M> {
         // the trace is written back whole and the panic re-raised
         // immediately.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.run_until_with(until, &mut trace);
+            self.try_run_until_with(until, &mut trace)
         }));
         self.trace = trace;
-        if let Err(panic) = outcome {
-            std::panic::resume_unwind(panic);
+        match outcome {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
         }
     }
 
@@ -1089,9 +1145,26 @@ impl<M: Clone + Send + 'static> Simulation<M> {
     /// internal trace stays empty during streaming runs. Callers should
     /// invoke [`Observer::on_finish`] once after the last call.
     pub fn run_until_with(&mut self, until: SimTime, obs: &mut dyn Observer) {
+        if let Err(e) = self.try_run_until_with(until, obs) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible twin of [`Simulation::run_until_with`] — the streaming
+    /// counterpart of [`Simulation::try_run_until`], with the same
+    /// partial-progress guarantees on `Err` (every row and sample below
+    /// the stuck time has already been streamed to `obs`, in order).
+    pub fn try_run_until_with(
+        &mut self,
+        until: SimTime,
+        obs: &mut dyn Observer,
+    ) -> Result<(), RunError> {
         self.start_if_needed(obs);
         match self.store {
-            EventStore::Serial(_) => self.run_serial(until, obs),
+            EventStore::Serial(_) => {
+                self.run_serial(until, obs);
+                Ok(())
+            }
             EventStore::Parallel(_) => self.run_parallel(until, obs),
         }
     }

@@ -4,46 +4,95 @@
 //! per-shard event heaps of [`crate::shard`] on a pool of worker threads
 //! between **conservative lookahead barriers**. The model provides the
 //! safety argument: every message is delayed by at least `d − U > 0`, so
-//! if `T₀` is the globally earliest pending event, *no* event created
-//! during the window can land before `T₀ + (d − U)`. Each shard may
-//! therefore process all of its own events with `time < T₀ + (d − U)`
-//! without consulting the others — the classic Chandy–Misra window,
-//! executed here truly in parallel.
+//! an event chain starting at key time `t` in one shard cannot influence
+//! a neighboring shard before `t + (d − U)` — the classic Chandy–Misra
+//! argument, executed here truly in parallel.
 //!
-//! Determinism and byte-identity with the serial engines come from three
-//! ingredients, none of which involve cross-thread ordering:
+//! ## Per-shard horizons
+//!
+//! Each window gives every shard its *own* cap instead of one global
+//! `T₀ + (d − U)`. Let `m_s` be shard `s`'s earliest pending key time
+//! (heap head, staged inbox, and mutex inbox included) and `L = d − U`.
+//! Messages travel only along node adjacency ([`crate::engine::Ctx`]
+//! enforces it), so influence propagates along the **shard adjacency
+//! graph**: the earliest time an event chain starting *outside* `s` can
+//! deliver into `s` is governed by the fixpoint
+//!
+//! ```text
+//! e_s   = min(m_s, min over neighbors s' of (e_s' + L))
+//! cap_s = min over neighbors s' of (e_s' + L)      (∞ if no neighbors)
+//! ```
+//!
+//! solved Dijkstra-style per barrier (uniform edge weight `L`). A shard
+//! may process every local event with `time < cap_s` without consulting
+//! anyone: any cross-shard arrival lands at or after `cap_s`. Note the
+//! fixpoint — *not* the one-hop `min(other heads) + L` — is required: an
+//! empty neighbor is itself constrained by *its* neighbors, and using
+//! its bare head (∞) would let two-hop message bounces land in a
+//! shard's already-processed past. The global minimum shard always gets
+//! `cap ≥ T₀ + L`, so every window makes progress; far-ahead shards on
+//! sparse shard graphs get caps that grow with their hop distance from
+//! the frontier. Caps are additionally clamped at the next engine
+//! sample time and at a large multiple of `L` (buffer hygiene); both
+//! clamps only shrink windows and never affect soundness.
+//!
+//! ## Deterministic work stealing
+//!
+//! Shard → worker assignment is dynamic, per window. The coordinator
+//! **deals** the shards that have work this window to workers by greedy
+//! longest-processing-time packing over per-shard cost estimates
+//! (events dispatched in the shard's last active window), then workers
+//! **steal**: after finishing their dealt shards they sweep every shard
+//! still unclaimed. A per-shard atomic claim flag makes ownership
+//! exactly-once per window; shards are independent within a window, so
+//! *any* executor may run *any* shard and only wall-clock changes. The
+//! dealt shares are recorded per worker
+//! ([`Simulation::planned_worker_events`]) — a deterministic balance
+//! metric, independent of how the steal race resolves on a given
+//! machine.
+//!
+//! ## Determinism and byte-identity
 //!
 //! * **Scheduler-independent keys.** Every event is stamped
 //!   `(time, source, per-source counter)` by the node that creates it
 //!   ([`crate::engine`]); within a shard, events dispatch in key order,
-//!   and the per-node state evolution is a pure function of that node's
-//!   own event sequence (per-node RNG and delay streams included).
-//! * **Relaxed trace buffers.** Workers buffer emitted rows per shard,
-//!   tagged with the emitting event's key; the coordinator merges them
-//!   into global key order at each barrier and streams the merged batch
-//!   to the run's [`Observer`]. Since windows partition time, the
-//!   concatenation of merged windows is exactly the serial engine's
-//!   strict in-order stream.
+//!   and per-node state evolution is a pure function of that node's own
+//!   event sequence (per-node RNG and delay streams included). Which
+//!   thread runs a shard, and in which order shards are claimed, is
+//!   invisible to results — pinned by the claim-order property test
+//!   below and the stress suites.
+//! * **Watermarked trace merge.** Workers buffer emitted rows per
+//!   shard, tagged with the emitting event's key. Because caps differ
+//!   per shard, windows no longer partition time — so the coordinator
+//!   keeps a pending-row buffer and emits, each barrier, only rows with
+//!   `time` strictly below the new global minimum pending time (and
+//!   below the next sample): everything earlier can no longer be
+//!   preceded by any future event or sample. The remainder flushes at
+//!   run end. The result is exactly the serial engine's strict in-order
+//!   stream.
 //! * **Barrier-handled samples.** Periodic clock samples read *every*
 //!   node's clock, so they are executed by the coordinator between
-//!   windows (windows are capped at the next sample time), exactly where
-//!   the serial engine dispatches them.
+//!   windows. All caps are clamped at the earliest pending sample time,
+//!   so when a sample fires no processed event at or after it exists —
+//!   and at equal times samples sort before node events
+//!   ([`crate::shard`]'s engine tie), matching the serial order.
 //!
 //! Cross-shard sends are batched in a per-worker outbox and flushed into
 //! the destination shards' mutex-guarded inboxes once per window (one
 //! lock per destination instead of one per message); owners absorb their
-//! inbox when they next enter a window. The lookahead floor guarantees
-//! staged arrivals never belong to the window they were created in, so
-//! flush/drain ordering across workers is irrelevant.
+//! inbox when they next advance. The horizon floor guarantees staged
+//! arrivals never land below the destination's cap, so flush/drain
+//! ordering across workers is irrelevant — and a shard skipped as idle
+//! cannot become due mid-window.
 //!
 //! The worker count is a pure throughput knob — results are
 //! byte-identical on every count — so it is clamped to the machine's
 //! available parallelism ([`crate::shard::resolve_workers`]), and a
 //! resolved count of one skips the pool entirely and runs the same
-//! windows inline on the calling thread. The pool is hand-rolled
-//! (a spin/yield/park gate) because the build environment has no
-//! crates.io access; windows are short, so the gate spins briefly before
-//! yielding — and yields immediately when the machine is oversubscribed.
+//! windows inline on the calling thread ([`Simulation::pin_workers`]
+//! overrides the resolution for balance measurement and tests). The
+//! pool is hand-rolled (a spin/yield/park gate) because the build
+//! environment has no crates.io access.
 //!
 //! **The pool persists across `run_until` calls.** Threads are spawned
 //! on the first multi-worker window and stored in the simulation's event
@@ -53,19 +102,49 @@
 //! through the gate; the stepping-granularity equivalence test in
 //! `tests/observer_equivalence.rs` pins that stepping never changes the
 //! trace.
+//!
+//! A lookahead below the f64 ulp of the current simulation time cannot
+//! advance any window; the coordinator surfaces that as the structured
+//! [`RunError::LookaheadVanished`] from [`Simulation::try_run_until`]
+//! (with every processed row preserved and the workers parked cleanly)
+//! instead of panicking mid-run.
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::engine::{
-    run_event, take_sample, EventStore, NodeCell, Pending, QueueKind, RowSink, SimShared, SimStats,
-    Simulation,
+    run_event, take_sample, EventStore, NodeCell, Pending, QueueKind, RowSink, RunError, SimShared,
+    SimStats, Simulation,
 };
 use crate::node::NodeId;
 use crate::observe::Observer;
-use crate::shard::{Entry, Key, Partition, Shard};
+use crate::shard::{shard_adjacency, Entry, Key, Partition, Shard};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Row;
+
+/// `f64::to_bits` of a time (the lock-free head/cap encoding).
+fn time_to_bits(t: SimTime) -> u64 {
+    t.as_secs().to_bits()
+}
+
+/// Inverse of [`time_to_bits`].
+fn time_from_bits(bits: u64) -> SimTime {
+    SimTime::from_secs(f64::from_bits(bits))
+}
+
+/// The "no pending event" sentinel.
+fn time_inf() -> SimTime {
+    SimTime::from_secs(f64::INFINITY)
+}
+
+/// Buffer-hygiene clamp: a shard's cap never exceeds its own front by
+/// more than this many lookaheads, so one barrier's pending-row buffer
+/// stays bounded even for degenerate shard graphs (e.g. a single shard,
+/// whose horizon is otherwise infinite). Far larger than any hop
+/// distance a real partition produces, so it never costs parallelism.
+const HORIZON_WINDOW_FACTOR: f64 = 1024.0;
 
 /// The parallel executor's event store: per-shard heaps plus the sample
 /// chain (samples never enter a shard — they are engine-global) and the
@@ -73,7 +152,8 @@ use crate::trace::Row;
 pub(crate) struct ParQueue<M> {
     pub(crate) shards: Vec<Shard<Pending<M>>>,
     pub(crate) shard_of: Vec<u32>,
-    /// Resolved worker count (see [`crate::shard::resolve_workers`]).
+    /// Resolved worker count (see [`crate::shard::resolve_workers`] and
+    /// [`Simulation::pin_workers`]).
     pub(crate) workers: usize,
     /// Pending engine-global sample times (usually one; transiently more
     /// after `set_sample_interval` toggles, mirroring the serial queue).
@@ -82,6 +162,20 @@ pub(crate) struct ParQueue<M> {
     /// `run_until` and kept alive (parked between runs) until the
     /// simulation is dropped.
     pub(crate) pool: Option<PoolHandle>,
+    /// Inter-shard adjacency (the horizon graph), built once on the
+    /// first parallel window.
+    pub(crate) shard_graph: Option<Vec<Vec<u32>>>,
+    /// Per-shard cost estimate for the deal-out: events the shard
+    /// dispatched in its last active window (halved while idle).
+    pub(crate) shard_cost: Vec<u64>,
+    /// Cumulative events dealt to each worker by the balancer — the
+    /// deterministic load-balance record behind
+    /// [`Simulation::planned_worker_events`].
+    pub(crate) planned_events: Vec<u64>,
+    /// Test-only knob: permute the inline path's shard claim order per
+    /// window with this seed. Results must be invariant (pinned by the
+    /// claim-order property test).
+    pub(crate) claim_probe: Option<u64>,
 }
 
 impl<M> ParQueue<M> {
@@ -93,6 +187,10 @@ impl<M> ParQueue<M> {
             workers,
             pending_samples: Vec::new(),
             pool: None,
+            shard_graph: None,
+            shard_cost: vec![0; count],
+            planned_events: Vec::new(),
+            claim_probe: None,
         }
     }
 
@@ -127,14 +225,19 @@ struct InboxBuf<M> {
 }
 
 /// One shard's arrival inbox: the buffer itself behind a mutex, plus a
-/// lock-free mirror of the staged minimum's *time* so the coordinator's
-/// per-barrier scan needs no locks at all (matching the `heads` array).
+/// lock-free mirror of the staged minimum's *time* so front scans need
+/// no locks at all (matching the `heads` array).
 pub(crate) struct Inbox<M> {
     buf: Mutex<InboxBuf<M>>,
     /// `f64::to_bits` of `buf.min.time` (`INFINITY` when empty).
-    /// Written only while holding `buf`'s lock; read `Relaxed` by the
-    /// barrier scan, whose visibility rides the gate's release/acquire
-    /// edges exactly like the shard heads.
+    /// Written only while holding `buf`'s lock, with `Release`; read
+    /// with `Acquire` by the coordinator's barrier scan and by workers'
+    /// steal-pass due checks. The coordinator-vs-worker visibility also
+    /// rides the gate's release/acquire edges (see [`Pool::heads`] for
+    /// the pinned argument); the explicit edge covers the *mid-window*
+    /// worker-vs-worker reads that stealing introduced. A momentarily
+    /// stale value is harmless either way: due checks are a fast-path
+    /// filter, and the claim CAS / inbox mutex arbitrate for real.
     min_time_bits: AtomicU64,
 }
 
@@ -159,7 +262,7 @@ impl<M> Inbox<M> {
         }
         let min_bits = buf.min.time.as_secs().to_bits();
         buf.entries.append(batch);
-        self.min_time_bits.store(min_bits, Ordering::Relaxed);
+        self.min_time_bits.store(min_bits, Ordering::Release);
     }
 
     /// Moves all staged arrivals into `shard`'s bulk-merge inbox.
@@ -175,17 +278,17 @@ impl<M> Inbox<M> {
         shard.inbox.append(&mut buf.entries);
         buf.min = Key::max();
         self.min_time_bits
-            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+            .store(f64::INFINITY.to_bits(), Ordering::Release);
     }
 
-    /// The staged minimum's time, lock-free (barrier scan only).
+    /// The staged minimum's time, lock-free (front scans only).
     fn min_time(&self) -> SimTime {
-        SimTime::from_secs(f64::from_bits(self.min_time_bits.load(Ordering::Relaxed)))
+        SimTime::from_secs(f64::from_bits(self.min_time_bits.load(Ordering::Acquire)))
     }
 }
 
-/// One shard's window-processing state, owned by its worker during a
-/// window and by the coordinator between windows.
+/// One shard's window-processing state, owned by the executor that
+/// claimed it during a window and by the coordinator between windows.
 struct Task<M> {
     shard: Shard<Pending<M>>,
     /// Relaxed-mode trace rows: `(event key, row)`, in dispatch order.
@@ -198,12 +301,19 @@ struct Task<M> {
 ///
 /// # Safety contract
 ///
-/// During a window, worker `w` dereferences only cells of nodes whose
-/// shard is statically assigned to `w` (`shard % workers == w`), and the
-/// partition maps each node to exactly one shard — so concurrent `&mut`
-/// accesses are disjoint. Between windows (workers parked at the gate),
-/// only the coordinator touches cells. Visibility is established by the
-/// gate's release/acquire edges and the task mutexes.
+/// Ownership of a cell is **dynamic, per window, per shard**: an
+/// executor may dereference the cells of shard `s`'s nodes during a
+/// window only if it *claimed* `s` for that window — either by winning
+/// the `claims[s]` compare-exchange (pooled path) or by being the sole
+/// inline executor. The partition maps each node to exactly one shard
+/// and the claim flag flips `false → true` at most once per window, so
+/// concurrent `&mut` accesses are disjoint. Happens-before for a cell
+/// handed from window `k`'s owner to window `k+1`'s owner is the gate
+/// chain: owner's `done.fetch_add(Release)` → coordinator's
+/// `wait_done` `Acquire` loads → coordinator's claim reset and
+/// `epoch.fetch_add(Release)` → new owner's `wait_epoch` `Acquire` →
+/// new owner's claim CAS. Between windows (workers parked at the gate),
+/// only the coordinator touches cells.
 struct Cells<'a, M> {
     ptr: *mut NodeCell<M>,
     len: usize,
@@ -221,13 +331,14 @@ impl<M> Copy for Cells<'_, M> {}
 // pointees (`NodeCell<M>`, which embed the boxed `Behavior` and staged
 // `M` payloads) cross the thread boundary with it, hence `M: Send`.
 // Which thread may then *dereference* which cell is governed by the
-// struct-level contract above.
+// struct-level claim contract above.
 unsafe impl<M: Send> Send for Cells<'_, M> {}
 // SAFETY: `&Cells` exposes no `&`-reachable cell data — every access
 // goes through the `unsafe fn cell`/`all` below, whose callers must
-// hold exclusive logical ownership per the struct-level contract, so
-// sharing the handle itself between threads is sound (`M: Send`, not
-// `M: Sync`, is the right bound: cells are handed off, never shared).
+// hold exclusive logical ownership (a window claim, or the coordinator
+// between windows) per the struct-level contract, so sharing the handle
+// itself between threads is sound (`M: Send`, not `M: Sync`, is the
+// right bound: cells are handed off, never shared).
 unsafe impl<M: Send> Sync for Cells<'_, M> {}
 
 impl<'a, M> Cells<'a, M> {
@@ -244,9 +355,9 @@ impl<'a, M> Cells<'a, M> {
     /// # Safety
     ///
     /// The caller must hold exclusive logical ownership of node `idx`
-    /// per the struct-level contract: either it is the worker whose
-    /// window currently owns `idx`'s shard, or it is the coordinator
-    /// between windows.
+    /// per the struct-level contract: either it claimed `idx`'s shard
+    /// for the current window (claim CAS won, or sole inline executor),
+    /// or it is the coordinator between windows.
     #[allow(clippy::mut_from_ref)] // the &mut really is derived from a raw pointer, not from &self
     unsafe fn cell(&self, idx: usize) -> &mut NodeCell<M> {
         debug_assert!(idx < self.len);
@@ -289,8 +400,6 @@ struct Gate {
     /// counts itself done so the coordinator can notice and propagate
     /// instead of spinning forever).
     panicked: AtomicBool,
-    /// Window cap (exclusive), as `f64::to_bits` of seconds.
-    cap_bits: AtomicU64,
     /// Pointer to the current run's [`Pool`] window state, type-erased.
     /// Published before the run's first window, cleared after its last;
     /// workers dereference it only between an epoch open and their done
@@ -316,16 +425,17 @@ impl Gate {
             done: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
-            cap_bits: AtomicU64::new(0),
             ctx: AtomicPtr::new(std::ptr::null_mut()),
             lock: Mutex::new(()),
             parked: Condvar::new(),
         }
     }
 
-    fn open(&self, cap: SimTime) {
-        self.cap_bits
-            .store(cap.as_secs().to_bits(), Ordering::Relaxed);
+    /// Opens a window. The per-shard caps, claims, and deal stores all
+    /// happen before this call on the coordinator thread, so the
+    /// `Release` epoch bump publishes them to every worker's
+    /// `wait_epoch` `Acquire`.
+    fn open(&self) {
         self.done.store(0, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
         // Wake any parked workers. Taking the lock orders this bump
@@ -372,10 +482,6 @@ impl Gate {
     /// always terminates for an open window.
     fn wait_done(&self, workers: usize, spin_limit: u32) {
         spin_until(spin_limit, || self.done.load(Ordering::Acquire) >= workers);
-    }
-
-    fn cap(&self) -> SimTime {
-        SimTime::from_secs(f64::from_bits(self.cap_bits.load(Ordering::Relaxed)))
     }
 }
 
@@ -440,9 +546,30 @@ fn earliest_sample(pending: &[SimTime]) -> Option<(usize, SimTime)> {
 struct Pool<'a, M> {
     tasks: &'a [Mutex<Task<M>>],
     inboxes: &'a [Inbox<M>],
-    /// Post-window `head_key().time` bits per shard, published by the
-    /// advancing worker so the coordinator's scan needs no task locks.
+    /// Post-window `head_key().time` bits per shard, published with
+    /// `Release` by the claiming executor and read with `Acquire` by
+    /// the coordinator's barrier scan and by other workers' steal-pass
+    /// due checks. For the coordinator the gate edge alone would
+    /// suffice (worker `done` `Release` → coordinator `wait_done`
+    /// `Acquire` happens-before the scan), but the mid-window
+    /// worker-vs-worker reads that stealing introduced have no gate
+    /// edge — the explicit Release/Acquire pairing keeps every read of
+    /// a head ordered after the advance that produced it. A stale head
+    /// in a due check is still harmless: the claim CAS (an RMW, which
+    /// always sees the latest claim value) arbitrates ownership.
     heads: &'a [AtomicU64],
+    /// Per-shard window caps (exclusive, `f64::to_bits` of seconds),
+    /// written by the coordinator between windows (`Relaxed`; published
+    /// by the gate's `Release` epoch bump, read after the workers'
+    /// `Acquire` epoch load).
+    caps: &'a [AtomicU64],
+    /// Per-shard claim flags, reset `false` by the coordinator between
+    /// windows. The `false → true` compare-exchange is the claim: its
+    /// atomicity makes window ownership exactly-once (see [`Cells`]).
+    claims: &'a [AtomicBool],
+    /// Per-shard dealt worker (`u32::MAX` = not dealt), written by the
+    /// coordinator between windows like `caps`.
+    planned: &'a [AtomicU32],
     cells: Cells<'a, M>,
     shared: &'a SimShared,
     shard_of: &'a [u32],
@@ -455,6 +582,13 @@ impl<M> Clone for Pool<'_, M> {
     }
 }
 impl<M> Copy for Pool<'_, M> {}
+
+impl<M> Pool<'_, M> {
+    /// Shard `s`'s cap for the current window.
+    fn cap(&self, s: usize) -> SimTime {
+        time_from_bits(self.caps[s].load(Ordering::Relaxed))
+    }
+}
 
 /// Reconstitutes the per-run window state from the gate's type-erased
 /// context pointer.
@@ -478,10 +612,52 @@ unsafe fn ctx_pool<'x, M>(ptr: *const u8) -> &'x Pool<'x, M> {
     unsafe { &*ptr.cast::<Pool<'x, M>>() }
 }
 
+impl<M> Simulation<M> {
+    /// Overrides the parallel scheduler's resolved worker count.
+    ///
+    /// [`crate::shard::resolve_workers`] clamps the requested count to
+    /// the machine's available parallelism at build time; this knob
+    /// replaces that resolution outright (floored at 1), which is
+    /// useful for pinning the pooled code path in tests and for
+    /// measuring the deal-out balance ([`Simulation::planned_worker_events`])
+    /// at a fixed logical worker count on any machine. Thread count
+    /// never changes results — traces stay byte-identical. Must be
+    /// called before the first parallel window: once the pool has
+    /// spawned, the spawn-time count is fixed and later calls are
+    /// ignored. No-op on serial schedulers.
+    pub fn pin_workers(&mut self, workers: usize) {
+        if let EventStore::Parallel(pq) = &mut self.store {
+            pq.workers = workers.max(1);
+        }
+    }
+
+    /// Cumulative per-worker totals of events *dealt* by the parallel
+    /// executor's window balancer, or `None` on serial schedulers.
+    ///
+    /// Entry `w` sums, over all windows so far, the events dispatched
+    /// by the shards the coordinator dealt to worker `w` in that
+    /// window. This is the scheduler's load-balance record: it is a
+    /// pure function of `(seed, config, worker count)` — unlike the
+    /// per-thread *execution* shares, which depend on how the steal
+    /// race resolves on a given machine — so benches and tests can
+    /// assert on it deterministically.
+    #[must_use]
+    pub fn planned_worker_events(&self) -> Option<&[u64]> {
+        match &self.store {
+            EventStore::Parallel(pq) => Some(&pq.planned_events),
+            EventStore::Serial(_) => None,
+        }
+    }
+}
+
 impl<M: Clone + Send + 'static> Simulation<M> {
     /// The parallel twin of the serial `run_until` loop. Called with the
     /// boot phase already done.
-    pub(crate) fn run_parallel(&mut self, until: SimTime, obs: &mut dyn Observer) {
+    pub(crate) fn run_parallel(
+        &mut self,
+        until: SimTime,
+        obs: &mut dyn Observer,
+    ) -> Result<(), RunError> {
         let Simulation {
             now,
             shared,
@@ -499,8 +675,31 @@ impl<M: Clone + Send + 'static> Simulation<M> {
             "parallel scheduler built with zero lookahead"
         );
         let nshards = pq.shards.len();
-        let nworkers = pq.workers.clamp(1, nshards);
         let shared: &SimShared = shared;
+
+        // Effective executor count: the resolved request, except that a
+        // pool spawned by an earlier call fixes it for the simulation's
+        // lifetime.
+        let mut nworkers = pq.workers.clamp(1, nshards);
+        let mut gate_bits: Option<(Arc<Gate>, usize, u32)> = None;
+        if nworkers > 1 {
+            let handle = pq
+                .pool
+                .get_or_insert_with(|| spawn_pool::<M>(nworkers, nshards));
+            assert!(
+                !handle.gate.panicked.load(Ordering::Relaxed),
+                "a parallel worker died in a previous run; the pool cannot be reused"
+            );
+            nworkers = handle.workers;
+            gate_bits = Some((Arc::clone(&handle.gate), handle.workers, handle.spin_limit));
+        }
+        if pq.shard_graph.is_none() {
+            pq.shard_graph = Some(shard_adjacency(&shared.adjacency, &pq.shard_of, nshards));
+        }
+        if pq.planned_events.len() < nworkers {
+            pq.planned_events.resize(nworkers, 0);
+        }
+        let claim_probe = pq.claim_probe;
 
         let tasks: Vec<Mutex<Task<M>>> = pq
             .shards
@@ -522,10 +721,18 @@ impl<M: Clone + Send + 'static> Simulation<M> {
                 AtomicU64::new(time.as_secs().to_bits())
             })
             .collect();
+        let caps: Vec<AtomicU64> = (0..nshards)
+            .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+            .collect();
+        let claims: Vec<AtomicBool> = (0..nshards).map(|_| AtomicBool::new(true)).collect();
+        let planned: Vec<AtomicU32> = (0..nshards).map(|_| AtomicU32::new(u32::MAX)).collect();
         let pool = Pool {
             tasks: &tasks,
             inboxes: &inboxes,
             heads: &heads,
+            caps: &caps,
+            claims: &claims,
+            planned: &planned,
             cells: Cells::new(cells),
             shared,
             shard_of: &pq.shard_of,
@@ -537,31 +744,21 @@ impl<M: Clone + Send + 'static> Simulation<M> {
             stats,
             lookahead,
             until,
-            rows_batch: Vec::new(),
+            graph: pq.shard_graph.as_deref().expect("graph built above"),
+            nworkers,
+            shard_cost: &mut pq.shard_cost,
+            planned_events: &mut pq.planned_events,
+            pending_rows: Vec::new(),
+            m: vec![time_inf(); nshards],
+            e: Vec::with_capacity(nshards),
+            dijkstra: BinaryHeap::new(),
+            order: Vec::with_capacity(nshards),
+            bins: vec![0; nworkers],
+            planned_of: vec![u32::MAX; nshards],
+            prev_events: vec![0; nshards],
         };
 
-        if nworkers == 1 {
-            // Single worker: same windows, same code path, no pool — the
-            // calling thread advances every shard itself.
-            let mut outbox: Vec<Vec<Entry<Pending<M>>>> =
-                (0..nshards).map(|_| Vec::new()).collect();
-            windows.coordinate(pool, |cap| {
-                for s in 0..nshards {
-                    advance_shard(s, cap, pool, &mut outbox);
-                }
-                flush_outbox(&mut outbox, &inboxes);
-            });
-        } else {
-            let handle = pq
-                .pool
-                .get_or_insert_with(|| spawn_pool::<M>(nworkers, nshards));
-            assert!(
-                !handle.gate.panicked.load(Ordering::Relaxed),
-                "a parallel worker died in a previous run; the pool cannot be reused"
-            );
-            let gate = Arc::clone(&handle.gate);
-            let workers = handle.workers;
-            let spin_limit = handle.spin_limit;
+        let result = if let Some((gate, workers, spin_limit)) = gate_bits {
             // Publish this run's window state. Workers read the pointer
             // only between an epoch open and their done acknowledgement,
             // and the coordinator keeps `pool` (and everything it
@@ -572,8 +769,8 @@ impl<M: Clone + Send + 'static> Simulation<M> {
                 std::ptr::from_ref(&pool).cast::<u8>().cast_mut(),
                 Ordering::Release,
             );
-            windows.coordinate(pool, |cap| {
-                gate.open(cap);
+            let result = windows.coordinate(pool, || {
+                gate.open();
                 gate.wait_done(workers, spin_limit);
                 if gate.panicked.load(Ordering::Relaxed) {
                     // Every worker has acknowledged this window (the
@@ -586,7 +783,30 @@ impl<M: Clone + Send + 'static> Simulation<M> {
                 }
             });
             gate.ctx.store(std::ptr::null_mut(), Ordering::Release);
-        }
+            result
+        } else {
+            // Single executor: same windows, same code path, no pool —
+            // the calling thread claims every due shard itself, in an
+            // order the claim probe may permute (results are invariant;
+            // the property test below pins it).
+            let mut outbox: Vec<Vec<Entry<Pending<M>>>> =
+                (0..nshards).map(|_| Vec::new()).collect();
+            let mut order: Vec<u32> = (0..nshards as u32).collect();
+            let mut window_index = 0u64;
+            windows.coordinate(pool, || {
+                if let Some(seed) = claim_probe {
+                    permute(&mut order, seed, window_index);
+                }
+                window_index += 1;
+                for &s in &order {
+                    let s = s as usize;
+                    if shard_due(s, &pool) {
+                        advance_shard(s, pool, &mut outbox);
+                    }
+                }
+                flush_outbox(&mut outbox, &inboxes);
+            })
+        };
 
         for task in tasks {
             let task = task.into_inner().expect("task poisoned");
@@ -594,11 +814,23 @@ impl<M: Clone + Send + 'static> Simulation<M> {
             pq.shards.push(task.shard);
         }
         // Arrivals staged after a shard's last window (all beyond the
-        // final cap) survive into the next run_until call.
+        // final caps) survive into the next run_until call.
         for (s, inbox) in inboxes.iter().enumerate() {
             inbox.drain_into(&mut pq.shards[s]);
         }
-        *now = until;
+        match result {
+            Ok(()) => {
+                *now = until;
+                Ok(())
+            }
+            Err(err) => {
+                // The stuck barrier time: everything below it was
+                // processed and emitted, nothing at or above it ran.
+                let RunError::LookaheadVanished { at, .. } = err;
+                *now = (*now).max(at);
+                Err(err)
+            }
+        }
     }
 }
 
@@ -613,7 +845,7 @@ fn spawn_pool<M: Clone + Send + 'static>(nworkers: usize, nshards: usize) -> Poo
             let gate = Arc::clone(&gate);
             std::thread::Builder::new()
                 .name(format!("ftgcs-worker-{w}"))
-                .spawn(move || worker_loop::<M>(w, nworkers, nshards, &gate, spin_limit))
+                .spawn(move || worker_loop::<M>(w, nshards, &gate, spin_limit))
                 .expect("spawn parallel worker thread")
         })
         .collect();
@@ -625,42 +857,109 @@ fn spawn_pool<M: Clone + Send + 'static>(nworkers: usize, nshards: usize) -> Poo
     }
 }
 
-/// The coordinator's per-run state: the sample chain and the
-/// observer/stat accumulators it owns between windows.
+/// The coordinator's per-run state: the sample chain, the observer/stat
+/// accumulators, the horizon solver's scratch, and the deal-out
+/// bookkeeping it owns between windows.
 struct Windows<'a> {
     pending_samples: &'a mut Vec<SimTime>,
     obs: &'a mut dyn Observer,
     stats: &'a mut SimStats,
     lookahead: SimDuration,
     until: SimTime,
-    rows_batch: Vec<(Key, Row)>,
+    /// Inter-shard adjacency (deduped, no self-edges).
+    graph: &'a [Vec<u32>],
+    /// Deal-out bin count (= executor count this run).
+    nworkers: usize,
+    /// Persistent per-shard cost estimates (see [`ParQueue`]).
+    shard_cost: &'a mut [u64],
+    /// Persistent per-worker dealt-event totals (see [`ParQueue`]).
+    planned_events: &'a mut [u64],
+    /// Rows merged from finished windows but not yet emitted: with
+    /// per-shard horizons, a row's time may exceed a *different*
+    /// shard's pending front, so rows wait until the global front
+    /// passes them.
+    pending_rows: Vec<(Key, Row)>,
+    /// Per-shard front `m_s` of the current barrier.
+    m: Vec<SimTime>,
+    /// Earliest-influence fixpoint `e_s` of the current barrier.
+    e: Vec<SimTime>,
+    /// Dijkstra frontier for the `e` relaxation.
+    dijkstra: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Due shards of the current window, heaviest-cost first.
+    order: Vec<u32>,
+    /// Per-worker dealt cost this window (LPT packing state).
+    bins: Vec<u64>,
+    /// Worker each shard was dealt to this window (`u32::MAX` = idle).
+    planned_of: Vec<u32>,
+    /// Per-shard cumulative event counts at the previous barrier, for
+    /// windowed deltas.
+    prev_events: Vec<u64>,
 }
 
 impl Windows<'_> {
-    /// The barrier loop: scan heads, fire due samples, open lookahead
-    /// windows via `run_window`, merge the relaxed row buffers.
+    /// The barrier loop: collect the last window's results, scan shard
+    /// fronts, emit matured rows, fire due samples, solve per-shard
+    /// horizons, deal shards to executors, run the window.
     fn coordinate<M: Clone + Send>(
         &mut self,
         pool: Pool<'_, M>,
-        mut run_window: impl FnMut(SimTime),
-    ) {
+        mut run_window: impl FnMut(),
+    ) -> Result<(), RunError> {
         let nshards = pool.tasks.len();
+        let mut ran_window = false;
         loop {
-            // Earliest pending event over all shard heads (published by
-            // the last window's workers) and staged inboxes.
-            let mut t_min: Option<SimTime> = None;
-            for s in 0..nshards {
-                let mut time =
-                    SimTime::from_secs(f64::from_bits(pool.heads[s].load(Ordering::Relaxed)));
-                time = time.min(pool.inboxes[s].min_time());
-                if time < SimTime::from_secs(f64::INFINITY) {
-                    t_min = Some(t_min.map_or(time, |m| m.min(time)));
+            // Collect the previous window's results: merge the relaxed
+            // row buffers into the pending buffer and account per-shard
+            // event deltas to the cost model and the deal record.
+            // (Skipped before the first window so persisted costs are
+            // not decayed by stepping runs that open zero windows.)
+            if ran_window {
+                for (s, task) in pool.tasks.iter().enumerate() {
+                    let mut task = task.lock().expect("task poisoned");
+                    self.pending_rows.append(&mut task.rows);
+                    let events = task.stats.events;
+                    let delta = events - self.prev_events[s];
+                    self.prev_events[s] = events;
+                    self.shard_cost[s] = if delta > 0 {
+                        delta
+                    } else {
+                        self.shard_cost[s] / 2
+                    };
+                    let w = self.planned_of[s];
+                    if w != u32::MAX {
+                        self.planned_events[w as usize] += delta;
+                    }
                 }
             }
 
+            // Scan shard fronts (published heads + staged inboxes) for
+            // the global minimum pending time.
+            let mut t_min = time_inf();
+            for s in 0..nshards {
+                // Acquire pairs with the claiming executor's Release
+                // head publication (see `Pool::heads`).
+                let head = time_from_bits(pool.heads[s].load(Ordering::Acquire));
+                let m = head.min(pool.inboxes[s].min_time());
+                self.m[s] = m;
+                t_min = t_min.min(m);
+            }
+            let t_min = (t_min < time_inf()).then_some(t_min);
+
+            // Emit every pending row strictly below the watermark: no
+            // future event (all at/after `t_min`) or sample can emit
+            // below it, and ties at the watermark itself must wait (an
+            // unprocessed event at `t_min` may carry a smaller tie).
+            let mut watermark = t_min.unwrap_or_else(time_inf);
+            if let Some((_, ts)) = earliest_sample(self.pending_samples) {
+                watermark = watermark.min(ts);
+            }
+            self.emit_rows_below(watermark);
+
             // Fire due samples: engine-global reads, dispatched here at
-            // the barrier — before any node event at the same time,
-            // matching the serial tie-break.
+            // the barrier. Every cap is clamped at the sample time, so
+            // no processed event at or after it exists — and at equal
+            // times samples sort before node events, so firing now
+            // matches the serial tie-break.
             while let Some((idx, ts)) = earliest_sample(self.pending_samples) {
                 if ts > self.until || t_min.is_some_and(|tm| ts > tm) {
                     break;
@@ -680,53 +979,188 @@ impl Windows<'_> {
                 break;
             }
 
-            // Window [tm, cap): the lookahead bound, tightened to the
-            // next sample time so no node event overtakes a sample.
-            let mut cap = tm + self.lookahead;
-            // A lookahead below the f64 ulp of the current time would
-            // open empty windows forever; fail loudly instead of
-            // silently livelocking. (Build already rejects d == U; this
-            // catches pathological d − U ≪ t.)
-            assert!(
-                cap > tm,
-                "lookahead {} s vanishes at t = {tm} (below f64 resolution): \
-                 parallel windows cannot advance",
-                self.lookahead
-            );
-            if let Some((_, ts)) = earliest_sample(self.pending_samples) {
-                cap = cap.min(ts);
+            // Solve per-shard horizons and deal shards to executors;
+            // fails (cleanly, workers parked) if the lookahead has
+            // vanished below the f64 ulp at this magnitude.
+            if let Err(err) = self.plan_window(&pool, tm) {
+                // Everything processed so far is real — flush it so the
+                // partial trace survives the error.
+                self.emit_rows_below(time_inf());
+                return Err(err);
             }
-            run_window(cap);
+            ran_window = true;
+            run_window();
+        }
+        // Run complete: every pending event is beyond `until`, so all
+        // buffered rows are final.
+        self.emit_rows_below(time_inf());
+        Ok(())
+    }
 
-            // Merge this window's relaxed row buffers into global key
-            // order and stream them to the observer. Windows partition
-            // time, so the merged windows concatenate to exactly the
-            // strict serial order.
-            for task in pool.tasks.iter() {
-                self.rows_batch
-                    .append(&mut task.lock().expect("task poisoned").rows);
-            }
-            self.rows_batch.sort_by_key(|&(key, _)| key);
-            for (_, row) in self.rows_batch.drain(..) {
-                self.obs.on_row_owned(row);
+    /// Emits pending rows with `time < watermark`, in global key order.
+    fn emit_rows_below(&mut self, watermark: SimTime) {
+        if self.pending_rows.is_empty() {
+            return;
+        }
+        // Stable sort: a single event's rows share its key and must
+        // keep their emission order.
+        self.pending_rows.sort_by_key(|&(key, _)| key);
+        let cut = self
+            .pending_rows
+            .partition_point(|&(key, _)| key.time < watermark);
+        for (_, row) in self.pending_rows.drain(..cut) {
+            self.obs.on_row_owned(row);
+        }
+    }
+
+    /// Computes this window's per-shard caps (the earliest-influence
+    /// fixpoint over the shard graph), checks progress, and deals the
+    /// due shards to executors (greedy LPT over cost estimates). All
+    /// stores are published to workers by the subsequent gate open.
+    fn plan_window<M>(&mut self, pool: &Pool<'_, M>, tm: SimTime) -> Result<(), RunError> {
+        let nshards = self.m.len();
+        let inf = time_inf();
+
+        // e_s = min(m_s, min over neighbors s' of e_s' + L), by
+        // Dijkstra with uniform weight L: pop the smallest tentative
+        // value, relax its neighbors. Monotone (weights ≥ 0), so each
+        // shard settles at its true fixpoint value.
+        self.e.clear();
+        self.e.extend_from_slice(&self.m);
+        self.dijkstra.clear();
+        for s in 0..nshards {
+            if self.e[s] < inf && !self.graph[s].is_empty() {
+                self.dijkstra.push(Reverse((self.e[s], s as u32)));
             }
         }
+        while let Some(Reverse((t, s))) = self.dijkstra.pop() {
+            if t > self.e[s as usize] {
+                continue; // stale frontier entry
+            }
+            let reach = t + self.lookahead;
+            for &n in &self.graph[s as usize] {
+                if reach < self.e[n as usize] {
+                    self.e[n as usize] = reach;
+                    self.dijkstra.push(Reverse((reach, n)));
+                }
+            }
+        }
+
+        // cap_s: the earliest any neighbor's influence can arrive. The
+        // progress check runs on the raw caps: if no shard at the
+        // global front can advance, `L` has vanished below the f64 ulp
+        // at this magnitude and every future window would be empty.
+        let next_sample = earliest_sample(self.pending_samples).map(|(_, ts)| ts);
+        let mut progress = false;
+        self.order.clear();
+        for s in 0..nshards {
+            let mut cap = inf;
+            for &n in &self.graph[s] {
+                cap = cap.min(self.e[n as usize] + self.lookahead);
+            }
+            if self.m[s] == tm && cap > tm {
+                progress = true;
+            }
+            // Clamps: never past the next engine sample (samples must
+            // dispatch before any event at/after them), and never more
+            // than a fixed horizon past the shard's own front (bounds
+            // the pending-row buffer; costs no real parallelism).
+            if let Some(ts) = next_sample {
+                cap = cap.min(ts);
+            }
+            if self.m[s] < inf {
+                cap = cap.min(self.m[s] + self.lookahead * HORIZON_WINDOW_FACTOR);
+            }
+            pool.caps[s].store(time_to_bits(cap), Ordering::Relaxed);
+            self.planned_of[s] = u32::MAX;
+            if self.m[s] < cap && self.m[s] <= self.until {
+                self.order.push(s as u32);
+            }
+        }
+        if !progress {
+            return Err(RunError::LookaheadVanished {
+                at: tm,
+                lookahead: self.lookahead,
+            });
+        }
+
+        // Deal-out: due shards, heaviest estimated cost first, each to
+        // the currently lightest bin (ties to the lowest worker). The
+        // assignment is a pure function of simulation state, so the
+        // recorded balance is machine-independent; the steal pass only
+        // redistributes *execution*, never the record.
+        self.order
+            .sort_by_key(|&s| (Reverse(self.shard_cost[s as usize]), s));
+        self.bins.clear();
+        self.bins.resize(self.nworkers, 0);
+        for &s in &self.order {
+            let mut w = 0usize;
+            for b in 1..self.nworkers {
+                if self.bins[b] < self.bins[w] {
+                    w = b;
+                }
+            }
+            self.planned_of[s as usize] = w as u32;
+            self.bins[w] += self.shard_cost[s as usize] + 1;
+        }
+        for s in 0..nshards {
+            pool.planned[s].store(self.planned_of[s], Ordering::Relaxed);
+            // Reset the claim; workers are parked, and the gate's
+            // Release epoch bump publishes the reset together with the
+            // caps and the deal.
+            pool.claims[s].store(false, Ordering::Relaxed);
+        }
+        Ok(())
     }
 }
 
-/// One worker: waits at the gate (spin → yield → park), then advances
-/// each of its statically assigned shards to the window cap and flushes
-/// its outbox. Lives for the whole simulation; between `run_until`
-/// calls it parks on the gate's condvar.
-fn worker_loop<M: Clone + Send>(
-    worker: usize,
-    nworkers: usize,
-    nshards: usize,
-    gate: &Gate,
-    spin_limit: u32,
+/// Whether shard `s` has any event below its cap this window. A pure
+/// fast-path filter: a stale head/inbox read can only mis-report a
+/// shard as due (the claim CAS then arbitrates) or as idle after
+/// another executor already claimed it — never skip real work, because
+/// mid-window arrivals always land at or beyond `cap_s` (the horizon
+/// floor), so a shard idle at the barrier stays idle all window.
+fn shard_due<M>(s: usize, pool: &Pool<'_, M>) -> bool {
+    let cap = pool.cap(s);
+    let head = time_from_bits(pool.heads[s].load(Ordering::Acquire));
+    let m = head.min(pool.inboxes[s].min_time());
+    m < cap && m <= pool.until
+}
+
+/// Claims shard `s` for this window and advances it; no-ops if the
+/// shard is idle or another executor holds the claim.
+fn try_claim_advance<M: Clone + Send>(
+    s: usize,
+    pool: Pool<'_, M>,
+    outbox: &mut [Vec<Entry<Pending<M>>>],
 ) {
+    if !shard_due(s, &pool) {
+        return;
+    }
+    // The claim. Success ordering Acquire: pairs with the previous
+    // owner's Release head store for the fast path, though the real
+    // inter-window visibility edge is the gate chain documented on
+    // `Cells` (claims are reset only between windows, so within a
+    // window the flag flips false → true at most once — that atomicity
+    // alone makes cell ownership exclusive).
+    if pool.claims[s]
+        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        return;
+    }
+    advance_shard(s, pool, outbox);
+}
+
+/// One worker: waits at the gate (spin → yield → park), processes the
+/// shards the coordinator dealt it, then sweeps every shard still
+/// unclaimed (work stealing), and flushes its outbox. Lives for the
+/// whole simulation; between `run_until` calls it parks on the gate's
+/// condvar.
+fn worker_loop<M: Clone + Send>(worker: usize, nshards: usize, gate: &Gate, spin_limit: u32) {
     let mut outbox: Vec<Vec<Entry<Pending<M>>>> = (0..nshards).map(|_| Vec::new()).collect();
     let mut seen = 0u64;
+    let me = worker as u32;
     loop {
         gate.wait_epoch(seen, spin_limit);
         seen = seen.wrapping_add(1);
@@ -737,16 +1171,23 @@ fn worker_loop<M: Clone + Send>(
         // opening the window and keeps it alive until every worker has
         // acknowledged; we acknowledge only after the last dereference.
         let pool = unsafe { ctx_pool::<M>(gate.ctx.load(Ordering::Acquire)) };
-        let cap = gate.cap();
         // A panicking behavior must not strand the coordinator: catch,
         // flag, count this worker done, and re-raise so the panic is
         // reported on this thread. (Unwind safety: the run is being
         // torn down — the poisoned task mutexes are never read.)
         let window = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut s = worker;
-            while s < nshards {
-                advance_shard(s, cap, *pool, &mut outbox);
-                s += nworkers;
+            // Pass 1: the shards dealt to this worker (the balanced
+            // plan), claimed so a stealing peer cannot double-run them.
+            for s in 0..nshards {
+                if pool.planned[s].load(Ordering::Relaxed) == me {
+                    try_claim_advance(s, *pool, &mut outbox);
+                }
+            }
+            // Pass 2: steal — sweep every shard still unclaimed, so an
+            // executor that finished its plan early drains stragglers
+            // instead of idling at the barrier.
+            for s in 0..nshards {
+                try_claim_advance(s, *pool, &mut outbox);
             }
             flush_outbox(&mut outbox, pool.inboxes);
         }));
@@ -770,14 +1211,14 @@ fn flush_outbox<M>(outbox: &mut [Vec<Entry<Pending<M>>>], inboxes: &[Inbox<M>]) 
 }
 
 /// Advances one shard through the window: absorb staged arrivals,
-/// pop-and-dispatch every local event below the cap, publish the new
-/// head.
+/// pop-and-dispatch every local event below the shard's cap, publish
+/// the new head.
 fn advance_shard<M: Clone + Send>(
     s: usize,
-    cap: SimTime,
     pool: Pool<'_, M>,
     outbox: &mut [Vec<Entry<Pending<M>>>],
 ) {
+    let cap = pool.cap(s);
     let mut task = pool.tasks[s].lock().expect("task poisoned");
     let task = &mut *task;
     pool.inboxes[s].drain_into(&mut task.shard);
@@ -799,9 +1240,10 @@ fn advance_shard<M: Clone + Send>(
             s,
             "event on wrong shard"
         );
-        // SAFETY: nodes of shard `s` are touched only by this worker
-        // during the window (static shard→worker assignment over a
-        // disjoint partition).
+        // SAFETY: this executor claimed shard `s` for the current
+        // window (claim CAS won, or sole inline executor), so it holds
+        // exclusive logical ownership of every node mapped to `s` —
+        // see the `Cells` contract.
         let cell = unsafe { pool.cells.cell(node.index()) };
         run_event(
             cell,
@@ -820,18 +1262,42 @@ fn advance_shard<M: Clone + Send>(
             entry.payload,
         );
     }
+    // Release pairs with the Acquire loads in the coordinator scan and
+    // in peers' steal-pass due checks (see `Pool::heads`).
     pool.heads[s].store(
         task.shard.head_key().time.as_secs().to_bits(),
-        Ordering::Relaxed,
+        Ordering::Release,
     );
+}
+
+/// splitmix64 step — the claim probe's permutation source. Not a
+/// simulation RNG: it only shuffles the inline claim order, which is
+/// invisible to results.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates over the inline path's claim order, keyed by the probe
+/// seed and the window index.
+fn permute(order: &mut [u32], seed: u64, window: u64) {
+    let mut state = seed ^ window.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    for i in (1..order.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::engine::{Ctx, SimBuilder, SimConfig};
+    use crate::engine::{Ctx, RunError, SimBuilder, SimConfig};
     use crate::node::{Behavior, NodeId, TimerTag, TrackId};
     use crate::shard::{Partition, SchedulerKind};
     use crate::time::{SimDuration, SimTime};
+    use proptest::prelude::*;
 
     /// A minimal churn workload without shared test state, so the
     /// parallel smoke test needs no synchronization of its own.
@@ -852,7 +1318,7 @@ mod tests {
         }
     }
 
-    fn run(scheduler: SchedulerKind) -> Vec<u8> {
+    fn ring_sim(n: usize, scheduler: SchedulerKind) -> crate::engine::Simulation<u32> {
         let config = SimConfig {
             seed: 11,
             sample_interval: Some(SimDuration::from_millis(20.0)),
@@ -860,12 +1326,15 @@ mod tests {
             ..SimConfig::default()
         };
         let mut b = SimBuilder::new(config);
-        let n = 8;
         let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(Box::new(Beater))).collect();
         for i in 0..n {
             b.add_edge(ids[i], ids[(i + 1) % n]);
         }
-        let mut sim = b.build();
+        b.build()
+    }
+
+    fn run(scheduler: SchedulerKind) -> Vec<u8> {
+        let mut sim = ring_sim(8, scheduler);
         sim.run_until(SimTime::from_secs(0.5));
         sim.run_for(SimDuration::from_secs(0.25));
         sim.into_trace().to_bytes()
@@ -895,25 +1364,15 @@ mod tests {
             partition: Partition::by_blocks(8, 2),
             workers: 2,
         });
-        let config = SimConfig {
-            seed: 11,
-            sample_interval: Some(SimDuration::from_millis(20.0)),
-            scheduler: SchedulerKind::Parallel {
+        let mut sim = ring_sim(
+            8,
+            SchedulerKind::Parallel {
                 partition: Partition::by_blocks(8, 2),
                 workers: 2,
             },
-            ..SimConfig::default()
-        };
-        let mut b = SimBuilder::new(config);
-        let n = 8;
-        let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(Box::new(Beater))).collect();
-        for i in 0..n {
-            b.add_edge(ids[i], ids[(i + 1) % n]);
-        }
-        let mut sim = b.build();
-        if let crate::engine::EventStore::Parallel(pq) = &mut sim.store {
-            pq.workers = 2; // force the pooled path regardless of cores
-        }
+        );
+        // Force the pooled path regardless of this machine's cores.
+        sim.pin_workers(2);
         for _ in 0..150 {
             sim.run_for(SimDuration::from_millis(5.0));
         }
@@ -925,6 +1384,142 @@ mod tests {
             one_shot,
             "stepping granularity changed the trace"
         );
+    }
+
+    #[test]
+    fn deal_out_balances_a_ragged_partition() {
+        // Hub-and-spoke shard sizes: one 12-node shard plus 20 singles
+        // on a 32-ring. Under the old static `shard % workers` split,
+        // worker 0 owned the hub shard *plus* every fourth spoke; the
+        // deal-out packs the hub alone against spread spokes, so no
+        // worker's dealt share exceeds the hub's own ~37.5% by much —
+        // and never the 60% the acceptance bar sets.
+        let mut assignment = vec![0usize; 12];
+        assignment.extend(1..=20usize);
+        let mut sim = ring_sim(
+            32,
+            SchedulerKind::Parallel {
+                partition: Partition::from_assignment(assignment),
+                workers: 1,
+            },
+        );
+        // Fixed logical worker count => machine-independent balance.
+        sim.pin_workers(4);
+        sim.run_until(SimTime::from_secs(0.5));
+        let loads = sim
+            .planned_worker_events()
+            .expect("parallel scheduler records dealt loads")
+            .to_vec();
+        assert_eq!(loads.len(), 4);
+        let total: u64 = loads.iter().sum();
+        assert!(total > 0, "no events dealt");
+        for (w, &load) in loads.iter().enumerate() {
+            let share = load as f64 / total as f64;
+            assert!(
+                share < 0.6,
+                "worker {w} dealt {share:.2} of all events ({loads:?})"
+            );
+        }
+        // The trace must still match the serial reference exactly.
+        let reference = {
+            let mut s = ring_sim(32, SchedulerKind::Global);
+            s.run_until(SimTime::from_secs(0.5));
+            s.into_trace().to_bytes()
+        };
+        assert_eq!(
+            sim.into_trace().to_bytes(),
+            reference,
+            "deal-out changed the trace"
+        );
+    }
+
+    /// A behavior whose second timer lands at a magnitude where the
+    /// configured (pathologically small) lookahead is below the f64
+    /// ulp, so no parallel window can advance past it.
+    struct FarTimer {
+        fired: bool,
+    }
+
+    impl Behavior<()> for FarTimer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            // ulp(1e-4) ≈ 1.4e-20 < the one-ulp lookahead below: this
+            // first timer still fits in a window and emits a row.
+            ctx.set_timer_at(TrackId::MAIN, 1.0e-4, TimerTag::new(0));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _tag: TimerTag) {
+            if !self.fired {
+                self.fired = true;
+                ctx.emit("early", vec![1.0]);
+                // ulp(0.01) ≈ 1.7e-18 > the lookahead: vanishes here.
+                ctx.set_timer_at(TrackId::MAIN, 0.01, TimerTag::new(0));
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+    }
+
+    /// A pathological `d − U` of exactly one ulp of `d = 1 ms`
+    /// (≈ 2.2e-19 s): positive, so the builder accepts it, but below
+    /// the f64 time resolution everywhere past t ≈ 1e-3.
+    fn far_timer_sim(workers: usize) -> crate::engine::Simulation<()> {
+        use crate::network::{DelayConfig, DelayDistribution};
+        let d = 0.001f64;
+        let u = f64::from_bits(d.to_bits() - 1);
+        let config = SimConfig {
+            rho: 0.0, // exact track == Newtonian time for the test
+            delay: DelayConfig::new(
+                SimDuration::from_secs(d),
+                SimDuration::from_secs(u),
+                DelayDistribution::Uniform,
+            ),
+            sample_interval: None,
+            scheduler: SchedulerKind::Parallel {
+                partition: Partition::from_assignment(vec![0, 1]),
+                workers,
+            },
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(config);
+        let a = b.add_node(Box::new(FarTimer { fired: false }));
+        let z = b.add_node(Box::new(FarTimer { fired: false }));
+        // The edge is what constrains the horizon: without neighbors a
+        // shard's cap is infinite and no livelock is possible.
+        b.add_edge(a, z);
+        b.build()
+    }
+
+    #[test]
+    fn vanishing_lookahead_is_a_structured_error() {
+        let mut sim = far_timer_sim(1);
+        let err = sim
+            .try_run_until(SimTime::from_secs(1.0))
+            .expect_err("lookahead must vanish at t = 0.01");
+        let RunError::LookaheadVanished { at, lookahead } = err;
+        assert_eq!(at, SimTime::from_secs(0.01));
+        assert!(lookahead.is_positive());
+        assert!(err.to_string().contains("vanishes"), "got: {err}");
+        // The partial trace (the rows emitted at t = 1e-4) survives.
+        assert!(
+            !sim.trace().to_bytes().is_empty(),
+            "partial trace lost on error"
+        );
+        // The clock stopped at the stuck barrier, and retrying reports
+        // the same error instead of wedging or panicking.
+        assert_eq!(sim.now(), SimTime::from_secs(0.01));
+        let again = sim.try_run_until(SimTime::from_secs(1.0));
+        assert_eq!(again, Err(err));
+    }
+
+    #[test]
+    #[should_panic(expected = "vanishes")]
+    fn vanishing_lookahead_panics_via_run_until() {
+        // The pooled path: the error must come out of `run_until` as a
+        // panic *after* a clean barrier stop — workers parked, pool
+        // reusable/joinable — not as a mid-window deadlock. Dropping
+        // the simulation during unwind joins the pool, which hangs (and
+        // fails the test) if any worker were stranded.
+        let mut sim = far_timer_sim(2);
+        sim.pin_workers(2);
+        sim.run_until(SimTime::from_secs(1.0));
     }
 
     #[test]
@@ -951,13 +1546,9 @@ mod tests {
         b.add_node(Box::new(Bomb));
         let mut sim = b.build();
         // Force two real OS threads regardless of this machine's core
-        // count, using the crate-internal knob rather than the
-        // FTGCS_WORKERS env var (mutating the environment would race
-        // sibling tests' getenv). Thread count never changes results;
-        // this only selects the pooled code path.
-        if let crate::engine::EventStore::Parallel(pq) = &mut sim.store {
-            pq.workers = 2;
-        }
+        // count (thread count never changes results; this only selects
+        // the pooled code path).
+        sim.pin_workers(2);
         sim.run_until(SimTime::from_secs(1.0));
     }
 
@@ -986,5 +1577,36 @@ mod tests {
         }
         b.add_node(Box::new(Quiet));
         let _ = b.build();
+    }
+
+    proptest! {
+        /// Any per-window shard claim order yields the identical merged
+        /// trace: shards are independent within a window, so ownership
+        /// order is invisible to results. The probe shuffles the inline
+        /// executor's claim sequence; the pooled paths' racy claim
+        /// orders are a subset of these (and are stress-tested across
+        /// real threads in `tests/shard_stealing.rs`).
+        #[test]
+        fn claim_order_never_changes_the_trace(probe in 1u64..u64::MAX) {
+            static REFERENCE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+            let reference = REFERENCE.get_or_init(|| run(SchedulerKind::Global));
+            let mut sim = ring_sim(
+                8,
+                SchedulerKind::Parallel {
+                    partition: Partition::by_blocks(8, 2),
+                    workers: 1,
+                },
+            );
+            if let crate::engine::EventStore::Parallel(pq) = &mut sim.store {
+                pq.claim_probe = Some(probe);
+            }
+            sim.run_until(SimTime::from_secs(0.5));
+            sim.run_for(SimDuration::from_secs(0.25));
+            prop_assert!(
+                &sim.into_trace().to_bytes() == reference,
+                "claim order {} changed the trace",
+                probe
+            );
+        }
     }
 }

@@ -198,6 +198,34 @@ fn resolve_workers_from(
     want.clamp(1, shards.max(1))
 }
 
+/// Builds the inter-shard adjacency underlying the parallel executor's
+/// per-shard horizons: `graph[s]` lists the shards holding at least one
+/// node adjacent to a node of shard `s` (deduped, no self-entries).
+/// Messages travel only along node adjacency, so this graph bounds how
+/// event influence can cross shards — it is undirected because node
+/// adjacency is.
+pub(crate) fn shard_adjacency(
+    adjacency: &[Vec<NodeId>],
+    shard_of: &[u32],
+    nshards: usize,
+) -> Vec<Vec<u32>> {
+    let mut graph: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+    for (u, neighbors) in adjacency.iter().enumerate() {
+        let su = shard_of[u];
+        for v in neighbors {
+            let sv = shard_of[v.index()];
+            if sv != su {
+                graph[su as usize].push(sv);
+            }
+        }
+    }
+    for list in &mut graph {
+        list.sort_unstable();
+        list.dedup();
+    }
+    graph
+}
+
 /// Which event scheduler a simulation uses.
 ///
 /// Every variant dispatches events in the identical global order, so
