@@ -66,9 +66,68 @@ fn run_cell(params: &Params, kind: &FaultKind, per_cluster: usize, seed: u64) ->
     (s.intra, s.local)
 }
 
+/// Lifecycle attack rows: time-windowed faults that keep the paper's
+/// *instantaneous* budget — `f` attackers per cluster at every moment —
+/// while strictly more distinct nodes are Byzantine over the whole run.
+/// Recovered nodes re-initialize and rejoin mid-run (see
+/// `ftgcs::faults::LifecycleNode`); skews are measured over the
+/// never-faulty nodes.
+/// One windowed fault assignment: `(node, kind, from, to)`, the same
+/// shape `Scenario::with_fault_window` takes.
+type FaultWindow = (usize, FaultKind, f64, f64);
+
+fn lifecycle_attacks(p: &Params) -> Vec<(&'static str, Vec<FaultWindow>)> {
+    let h = p.suggested_horizon(DIAMETER);
+    let k = p.cluster_size;
+    let two_faced = FaultKind::TwoFaced {
+        amplitude: 0.9 * p.phi * p.tau3,
+    };
+    // Slots 0..f of every cluster attack only over the middle third of
+    // the run, then recover.
+    let mut windowed = Vec::new();
+    // Slots 0..f of every cluster flap: silent for a quarter of each
+    // 8-round period (f simultaneous outages per cluster = exactly the
+    // budget).
+    let mut churn = Vec::new();
+    let period = 8.0 * p.t_round;
+    for c in 0..=DIAMETER {
+        for s in 0..p.f {
+            let node = c * k + s;
+            windowed.push((node, two_faced.clone(), 0.35 * h, 0.65 * h));
+            let mut start = 0.5 * period;
+            while start < h {
+                churn.push((node, FaultKind::Silent, start, start + 0.25 * period));
+                start += period;
+            }
+        }
+    }
+    vec![("two-faced-windowed", windowed), ("silent-churn", churn)]
+}
+
+fn run_lifecycle_cell(params: &Params, seed: u64, windows: &[FaultWindow]) -> (f64, f64) {
+    let cg = ClusterGraph::new(
+        generators::line(DIAMETER + 1),
+        params.cluster_size,
+        params.f,
+    );
+    let mut scenario = Scenario::new(cg.clone(), params.clone());
+    scenario.seed(seed);
+    for &(node, ref kind, from, to) in windows {
+        scenario.with_fault_window(node, kind.clone(), from, to);
+    }
+    assert!(
+        !scenario.faults_exceed_budget(),
+        "lifecycle rows must keep the instantaneous budget"
+    );
+    let run = scenario.run_for(params.suggested_horizon(DIAMETER));
+    let s = measure_skews(&run, &cg, warmup(params));
+    (s.intra, s.local)
+}
+
 /// Runs the analysis (spec: environment, seed base — cell `i` at
-/// `seed + i`, the over-budget row at `seed + 899`, matching the legacy
-/// binary's `100 + i` / `999` layout at the default base 100).
+/// `seed + i`, lifecycle rows at `seed + 50 + 10f + j`, the over-budget
+/// row at `seed + 899`, matching the legacy binary's `100 + i` / `999`
+/// layout at the default base 100).
 pub fn run(spec: &SpecFile) {
     println!("F4: attack strategy x fault budget matrix\n");
     let mut table = Table::new(&[
@@ -99,6 +158,25 @@ pub fn run(spec: &SpecFile) {
                 params.cluster_size.to_string(),
                 (*name).to_string(),
                 format!("{f} (= f)"),
+                format!("{intra:.3e}"),
+                format!("{intra_bound:.3e}"),
+                format!("{local:.3e}"),
+                format!("{local_bound:.3e}"),
+                if ok { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        for (j, (name, windows)) in lifecycle_attacks(&params).iter().enumerate() {
+            let seed = spec.seed() + 50 + 10 * f as u64 + j as u64;
+            let (intra, local) = run_lifecycle_cell(&params, seed, windows);
+            let ok = intra <= intra_bound && local <= local_bound;
+            if !ok {
+                violations += 1;
+            }
+            table.row(&[
+                f.to_string(),
+                params.cluster_size.to_string(),
+                (*name).to_string(),
+                format!("{f} (= f, windowed)"),
                 format!("{intra:.3e}"),
                 format!("{intra_bound:.3e}"),
                 format!("{local:.3e}"),

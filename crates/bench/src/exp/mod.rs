@@ -30,6 +30,8 @@ pub mod f2;
 pub mod f3;
 pub mod f4;
 pub mod f5;
+pub mod f6;
+pub mod f7;
 pub mod t1;
 pub mod t2;
 pub mod t3;
@@ -52,6 +54,8 @@ pub const ANALYSES: &[(&str, Analysis)] = &[
     ("f3_skew_traces", f3::run),
     ("f4_attack_matrix", f4::run),
     ("f5_gcs_vs_ftgcs", f5::run),
+    ("f6_churn", f6::run),
+    ("f7_mobile_adversary", f7::run),
     ("t1_parameter_table", t1::run),
     ("t2_reliability", t2::run),
     ("t3_unanimous_rates", t3::run),

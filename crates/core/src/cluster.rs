@@ -249,6 +249,24 @@ impl ClusterInstance {
     /// Starts round 1: sets the phase-1/2 multiplier and schedules the
     /// round's timers. Call once from the owner's `on_start`.
     pub fn start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.start_at(ctx, 1);
+    }
+
+    /// Starts at an arbitrary round — the mid-run entry point for nodes
+    /// (re)joining an execution in progress, e.g. a lifecycle recovery.
+    ///
+    /// The instance behaves exactly as if it had reached round `round`
+    /// normally but observed no pulses yet: it listens for the round's
+    /// pulse window and re-integrates through the same trimmed-midpoint
+    /// machinery as every other round. Call instead of
+    /// [`ClusterInstance::start`], once, before any message routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is zero (rounds are 1-indexed).
+    pub fn start_at(&mut self, ctx: &mut Ctx<'_, Msg>, round: u64) {
+        assert!(round >= 1, "rounds are 1-indexed");
+        self.round = round;
         self.apply_listen_multiplier(ctx);
         self.schedule_round_timers(ctx);
     }

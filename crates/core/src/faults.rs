@@ -36,6 +36,15 @@ const TIMER_EARLY: u32 = 10;
 const TIMER_LATE: u32 = 11;
 /// Timer kind for periodic Byzantine actions.
 const TIMER_PERIODIC: u32 = 12;
+/// Timer kind for [`LifecycleNode`] phase transitions. Outside every
+/// namespace the wrapped behaviors use (cluster timers 1–3, the max
+/// estimator's 4, fault timers 10–12), so the wrapper can route by kind
+/// alone.
+pub const TIMER_LIFECYCLE: u32 = 20;
+
+/// Trace row kind emitted when [`TwoFacedPulser`] skips a degenerate
+/// early face: `values = [round, target, amplitude]`.
+pub const ROW_FACE_SKIPPED: &str = "face_skipped";
 
 /// A fault strategy, used by the scenario runner to instantiate behaviors.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,19 +93,59 @@ pub enum FaultKind {
 /// `cfg`.
 #[must_use]
 pub fn make_fault_behavior(kind: &FaultKind, cfg: NodeConfig) -> Box<dyn Behavior<Msg>> {
+    make_fault_behavior_at(kind, cfg, 0.0, 1)
+}
+
+/// Builds the behavior implementing `kind` for a node that takes up the
+/// strategy **mid-run**, at Newtonian time `nominal` during round
+/// `round` (per [`rejoin_round`]). `make_fault_behavior` is the boot
+/// special case `(nominal, round) = (0.0, 1)`.
+///
+/// Strategies that follow their own cluster (via a silent tracker
+/// instance) open their tracker at value `nominal` in round `round`, so
+/// their lies stay plausibly inside the listening windows from the
+/// first post-transition round on.
+#[must_use]
+pub fn make_fault_behavior_at(
+    kind: &FaultKind,
+    cfg: NodeConfig,
+    nominal: f64,
+    round: u64,
+) -> Box<dyn Behavior<Msg>> {
     match kind {
         FaultKind::Silent => Box::new(SilentNode),
-        FaultKind::Crash { at } => Box::new(CrashNode::new(cfg, *at)),
+        FaultKind::Crash { at } => Box::new(CrashNode::new_at(cfg, *at, round)),
         FaultKind::RandomPulser { mean_interval } => Box::new(RandomPulser::new(*mean_interval)),
-        FaultKind::TwoFaced { amplitude } => Box::new(TwoFacedPulser::new(cfg, *amplitude)),
-        FaultKind::SkewPuller { offset } => Box::new(SkewPuller::new(cfg, *offset)),
-        FaultKind::StealthyRusher { extra_rate } => {
-            Box::new(StealthyRusher::new(Arc::clone(&cfg.params), *extra_rate))
+        FaultKind::TwoFaced { amplitude } => {
+            Box::new(TwoFacedPulser::new_at(cfg, *amplitude, nominal, round))
         }
+        FaultKind::SkewPuller { offset } => {
+            Box::new(SkewPuller::new_at(cfg, *offset, nominal, round))
+        }
+        FaultKind::StealthyRusher { extra_rate } => Box::new(StealthyRusher::new_at(
+            Arc::clone(&cfg.params),
+            *extra_rate,
+            round,
+        )),
         FaultKind::LevelFlooder { level_step } => {
             Box::new(LevelFlooder::new(Arc::clone(&cfg.params), *level_step))
         }
     }
+}
+
+/// The round a node (re)joining at Newtonian time `nominal` should
+/// start in: the smallest round whose pulse time `(r−1)·T + τ₁` lies
+/// strictly in the future of `nominal`, so the first thing the rejoined
+/// node does is *listen* for a full pulse window rather than resume a
+/// round already in flight.
+#[must_use]
+pub fn rejoin_round(params: &Params, nominal: f64) -> u64 {
+    if nominal < params.tau1 {
+        return 1;
+    }
+    let completed = ((nominal - params.tau1) / params.t_round).floor();
+    debug_assert!(completed >= 0.0 && completed.is_finite());
+    completed as u64 + 2
 }
 
 /// A node that never sends anything.
@@ -114,6 +163,9 @@ impl Behavior<Msg> for SilentNode {
 pub struct CrashNode {
     inner: FtGcsNode,
     crash_at: f64,
+    start_round: u64,
+    /// Whether the post-crash timer sweep already ran.
+    shut_down: bool,
 }
 
 impl CrashNode {
@@ -121,31 +173,55 @@ impl CrashNode {
     /// (Newtonian seconds).
     #[must_use]
     pub fn new(cfg: NodeConfig, crash_at: f64) -> Self {
+        CrashNode::new_at(cfg, crash_at, 1)
+    }
+
+    /// Mid-run variant: the correct phase starts in round `start_round`
+    /// (see [`rejoin_round`]) instead of round 1.
+    #[must_use]
+    pub fn new_at(cfg: NodeConfig, crash_at: f64, start_round: u64) -> Self {
         CrashNode {
             inner: FtGcsNode::new(cfg),
             crash_at,
+            start_round,
+            shut_down: false,
         }
     }
 
     fn alive(&self, ctx: &Ctx<'_, Msg>) -> bool {
         ctx.newtonian_now().as_secs() < self.crash_at
     }
+
+    /// On the first post-crash event, cancels every outstanding timer so
+    /// a long-horizon run does not drag the dead node's round schedule
+    /// through the event queue forever (a crash deletes the node, cf.
+    /// §1 — including its pending work).
+    fn shutdown_once(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.shut_down {
+            self.shut_down = true;
+            ctx.cancel_all_timers();
+        }
+    }
 }
 
 impl Behavior<Msg> for CrashNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         if self.alive(ctx) {
-            self.inner.on_start(ctx);
+            self.inner.start_at_round(ctx, self.start_round);
         }
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
         if self.alive(ctx) {
             self.inner.on_message(ctx, from, msg);
+        } else {
+            self.shutdown_once(ctx);
         }
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: TimerTag) {
         if self.alive(ctx) {
             self.inner.on_timer(ctx, tag);
+        } else {
+            self.shutdown_once(ctx);
         }
     }
 }
@@ -202,23 +278,30 @@ struct ClusterFollower {
     cluster_id: usize,
     /// Own-cluster members excluding this node.
     peers: Vec<NodeId>,
+    /// Tracker clock value at start (0 at boot; ≈ the cluster's logical
+    /// clock for strategies adopted mid-run).
+    nominal: f64,
+    /// Round the tracker opens in (1 at boot; see [`rejoin_round`]).
+    start_round: u64,
 }
 
 impl ClusterFollower {
-    fn new(cfg: &NodeConfig, me_excluded_later: bool) -> Self {
+    fn new_at(cfg: &NodeConfig, me_excluded_later: bool, nominal: f64, start_round: u64) -> Self {
         debug_assert!(me_excluded_later);
         ClusterFollower {
             tracker: None,
             params: Arc::clone(&cfg.params),
             cluster_id: cfg.cluster_id,
             peers: cfg.members.clone(),
+            nominal,
+            start_round,
         }
     }
 
     fn start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let me = ctx.my_id();
         self.peers.retain(|&m| m != me);
-        let track = ctx.new_track(0.0, 1.0);
+        let track = ctx.new_track(self.nominal, 1.0);
         let mut tracker = ClusterInstance::new(
             1,
             track,
@@ -227,7 +310,7 @@ impl ClusterFollower {
             true,
             Arc::clone(&self.params),
         );
-        tracker.start(ctx);
+        tracker.start_at(ctx, self.start_round);
         self.tracker = Some(tracker);
     }
 
@@ -283,8 +366,15 @@ impl TwoFacedPulser {
     /// seconds.
     #[must_use]
     pub fn new(cfg: NodeConfig, amplitude: f64) -> Self {
+        TwoFacedPulser::new_at(cfg, amplitude, 0.0, 1)
+    }
+
+    /// Mid-run variant: the tracker opens at clock value `nominal` in
+    /// round `round` (see [`rejoin_round`]).
+    #[must_use]
+    pub fn new_at(cfg: NodeConfig, amplitude: f64, nominal: f64, round: u64) -> Self {
         TwoFacedPulser {
-            follower: ClusterFollower::new(&cfg, true),
+            follower: ClusterFollower::new_at(&cfg, true, nominal, round),
             amplitude: amplitude.abs(),
         }
     }
@@ -293,7 +383,16 @@ impl TwoFacedPulser {
         let target = self.follower.pulse_target(round);
         let track = self.follower.track();
         let tag = |kind: u32| TimerTag::new(kind).with_b(round);
-        ctx.set_timer_at(track, (target - self.amplitude).max(0.0), tag(TIMER_EARLY));
+        let early = target - self.amplitude;
+        if early > 0.0 {
+            ctx.set_timer_at(track, early, tag(TIMER_EARLY));
+        } else {
+            // `amplitude ≥ target` (possible in round 1 when the lie
+            // exceeds τ₁): clamping onto t = 0 would make the "early"
+            // face indistinguishable from start-of-round noise, so the
+            // degenerate face is skipped and logged instead.
+            ctx.emit(ROW_FACE_SKIPPED, vec![round as f64, target, self.amplitude]);
+        }
         ctx.set_timer_at(track, target + self.amplitude, tag(TIMER_LATE));
     }
 
@@ -310,7 +409,7 @@ impl TwoFacedPulser {
 impl Behavior<Msg> for TwoFacedPulser {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.follower.start(ctx);
-        self.schedule_faces(ctx, 1);
+        self.schedule_faces(ctx, self.follower.start_round);
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
         let _ = self.follower.on_message(ctx, from, msg);
@@ -343,8 +442,15 @@ impl SkewPuller {
     /// cluster fast), positive pulses late.
     #[must_use]
     pub fn new(cfg: NodeConfig, offset: f64) -> Self {
+        SkewPuller::new_at(cfg, offset, 0.0, 1)
+    }
+
+    /// Mid-run variant: the tracker opens at clock value `nominal` in
+    /// round `round` (see [`rejoin_round`]).
+    #[must_use]
+    pub fn new_at(cfg: NodeConfig, offset: f64, nominal: f64, round: u64) -> Self {
         SkewPuller {
-            follower: ClusterFollower::new(&cfg, true),
+            follower: ClusterFollower::new_at(&cfg, true, nominal, round),
             offset,
         }
     }
@@ -362,7 +468,7 @@ impl SkewPuller {
 impl Behavior<Msg> for SkewPuller {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.follower.start(ctx);
-        self.schedule(ctx, 1);
+        self.schedule(ctx, self.follower.start_round);
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
         let _ = self.follower.on_message(ctx, from, msg);
@@ -391,10 +497,17 @@ impl StealthyRusher {
     /// `(1+ϕ)(1+µ)`.
     #[must_use]
     pub fn new(params: Arc<Params>, extra_rate: f64) -> Self {
+        StealthyRusher::new_at(params, extra_rate, 1)
+    }
+
+    /// Mid-run variant: the rushed round schedule resumes from
+    /// `start_round` (see [`rejoin_round`]) instead of round 1.
+    #[must_use]
+    pub fn new_at(params: Arc<Params>, extra_rate: f64, start_round: u64) -> Self {
         StealthyRusher {
             params,
             extra_rate,
-            round: 1,
+            round: start_round,
         }
     }
 
@@ -445,11 +558,10 @@ impl LevelFlooder {
 
 impl Behavior<Msg> for LevelFlooder {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        ctx.set_timer_at(
-            TrackId::MAIN,
-            self.params.t_round,
-            TimerTag::new(TIMER_PERIODIC),
-        );
+        // Relative to the current clock value (0 at boot) so a mid-run
+        // adoption floods one round later, not instantly.
+        let next = ctx.track_value(TrackId::MAIN) + self.params.t_round;
+        ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(TIMER_PERIODIC));
     }
     fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: &Msg) {}
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: TimerTag) {
@@ -459,6 +571,140 @@ impl Behavior<Msg> for LevelFlooder {
         });
         let next = ctx.track_value(TrackId::MAIN) + self.params.t_round;
         ctx.set_timer_at(TrackId::MAIN, next, TimerTag::new(TIMER_PERIODIC));
+    }
+}
+
+/// One phase of a node's fault lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecyclePhase {
+    /// The node runs the correct FTGCS protocol.
+    Correct,
+    /// The node runs the given fault strategy.
+    Faulty(FaultKind),
+}
+
+/// A node whose behavior changes at scheduled Newtonian times:
+/// `Correct → Faulty(kind) → Correct → …` — the engine-side half of the
+/// fault lifecycle layer (time-windowed faults, crash–recover churn,
+/// mobile Byzantine adversaries).
+///
+/// Transitions are ordinary timer events: each is armed with
+/// [`Ctx::set_timer_at_newtonian`] and dispatched under the standard
+/// `(time, source, counter)` key, so lifecycle runs stay byte-identical
+/// across the Serial, Sharded, and Parallel schedulers.
+///
+/// At a transition the wrapper cancels every pending timer, drops all
+/// extra clock tracks, and boots a fresh inner behavior. **Recovery** is
+/// the interesting direction: the rejoining node does *not* resume
+/// stale round state. It re-initializes its [`ClusterInstance`]s at
+/// [`rejoin_round`] with its clocks jumped to the current Newtonian
+/// time, then re-integrates through the same machinery every node uses
+/// each round — trimmed-midpoint corrections over the pulse window for
+/// cluster agreement, and the max estimator's `f+1` level confirmations
+/// for the global clock. In-flight messages sent to the node's previous
+/// incarnation (at most one delay bound `d` worth) are absorbed by that
+/// machinery as ordinary Byzantine noise; with the node counted against
+/// the cluster's `f`-budget for its faulty window, they are within the
+/// adversary the algorithm already tolerates.
+pub struct LifecycleNode {
+    cfg: NodeConfig,
+    /// `(time, phase)` transitions, strictly increasing in time.
+    schedule: Vec<(f64, LifecyclePhase)>,
+    /// Index of the next transition to arm/apply.
+    next: usize,
+    inner: Box<dyn Behavior<Msg>>,
+}
+
+impl std::fmt::Debug for LifecycleNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LifecycleNode(next={}/{})",
+            self.next,
+            self.schedule.len()
+        )
+    }
+}
+
+impl LifecycleNode {
+    /// Creates a node that boots correct and then applies `schedule` in
+    /// order. Transition times are Newtonian seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty, starts at a negative time, or is
+    /// not strictly increasing.
+    #[must_use]
+    pub fn new(cfg: NodeConfig, schedule: Vec<(f64, LifecyclePhase)>) -> Self {
+        assert!(!schedule.is_empty(), "empty lifecycle schedule");
+        assert!(
+            schedule[0].0 >= 0.0 && schedule.windows(2).all(|w| w[0].0 < w[1].0),
+            "lifecycle schedule must be strictly increasing"
+        );
+        let inner = Box::new(FtGcsNode::new(cfg.clone()));
+        LifecycleNode {
+            cfg,
+            schedule,
+            next: 0,
+            inner,
+        }
+    }
+
+    /// Arms a Newtonian timer for the next transition, if any. Exactly
+    /// one lifecycle timer is pending at any moment, so the transition
+    /// handler's blanket `cancel_all_timers` never kills a live one.
+    fn arm_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(&(at, _)) = self.schedule.get(self.next) {
+            ctx.set_timer_at_newtonian(at, TimerTag::new(TIMER_LIFECYCLE).with_b(self.next as u64));
+        }
+    }
+
+    /// Applies the transition `self.next`: tears down the current
+    /// incarnation (timers, extra tracks) and boots the next one at the
+    /// current instant.
+    fn transition(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let phase = self.schedule[self.next].1.clone();
+        self.next += 1;
+        ctx.cancel_all_timers();
+        ctx.reset_tracks();
+        let nominal = ctx.newtonian_now().as_secs();
+        let round = rejoin_round(&self.cfg.params, nominal);
+        self.inner = match phase {
+            LifecyclePhase::Correct => {
+                // Rejoin with clocks at nominal time: close enough for
+                // the pulse window (proper initialization within E), and
+                // the first correction re-synchronizes exactly.
+                let mut cfg = self.cfg.clone();
+                cfg.initial_offset = nominal;
+                cfg.neighbor_offsets = vec![nominal; cfg.neighbors.len()];
+                let mut node = FtGcsNode::new(cfg);
+                node.start_at_round(ctx, round);
+                Box::new(node)
+            }
+            LifecyclePhase::Faulty(kind) => {
+                let mut behavior = make_fault_behavior_at(&kind, self.cfg.clone(), nominal, round);
+                behavior.on_start(ctx);
+                behavior
+            }
+        };
+        self.arm_next(ctx);
+    }
+}
+
+impl Behavior<Msg> for LifecycleNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.inner.on_start(ctx);
+        self.arm_next(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {
+        self.inner.on_message(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: TimerTag) {
+        if tag.kind == TIMER_LIFECYCLE {
+            self.transition(ctx);
+        } else {
+            self.inner.on_timer(ctx, tag);
+        }
     }
 }
 

@@ -72,7 +72,7 @@ pub mod runner;
 pub mod spec;
 pub mod triggers;
 
-pub use faults::FaultKind;
+pub use faults::{FaultKind, LifecycleNode, LifecyclePhase};
 pub use messages::Msg;
 pub use node::{FtGcsNode, NodeConfig};
 pub use params::{ParamError, Params, ParamsBuilder};

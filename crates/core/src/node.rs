@@ -193,12 +193,22 @@ impl FtGcsNode {
     }
 }
 
-impl Behavior<Msg> for FtGcsNode {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+impl FtGcsNode {
+    /// Starts the node mid-run at round `round`: jumps `L_v` to
+    /// `initial_offset`, starts the own-cluster instance and every
+    /// estimator at `round`, and boots a fresh max estimator.
+    ///
+    /// This is [`Behavior::on_start`] generalized to a non-initial round
+    /// — the entry point the fault-lifecycle layer uses when a crashed
+    /// node rejoins an execution in progress. The caller must hand this
+    /// node a context whose extra tracks have been dropped
+    /// (`Ctx::reset_tracks`), so the track-layout contract (track `1+i`
+    /// is estimator `i`) holds again.
+    pub fn start_at_round(&mut self, ctx: &mut Ctx<'_, Msg>, round: u64) {
         if self.cfg.initial_offset != 0.0 {
             ctx.jump_track(TrackId::MAIN, self.cfg.initial_offset);
         }
-        self.own.start(ctx);
+        self.own.start_at(ctx, round);
         // One silent estimator per adjacent cluster, on its own track.
         for (i, (cluster_id, members)) in self.cfg.neighbors.iter().enumerate() {
             let init = self.cfg.neighbor_offsets.get(i).copied().unwrap_or(0.0);
@@ -212,7 +222,7 @@ impl Behavior<Msg> for FtGcsNode {
                 true,
                 Arc::clone(&self.cfg.params),
             );
-            inst.start(ctx);
+            inst.start_at(ctx, round);
             self.estimators.push(inst);
         }
         if self.cfg.enable_max_estimator {
@@ -224,6 +234,12 @@ impl Behavior<Msg> for FtGcsNode {
             est.start(ctx);
             self.max_est = Some(est);
         }
+    }
+}
+
+impl Behavior<Msg> for FtGcsNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.start_at_round(ctx, 1);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: &Msg) {

@@ -21,11 +21,13 @@ use ftgcs_sim::trace::Trace;
 use ftgcs_topology::ClusterGraph;
 
 use crate::cluster::cluster_partition;
-use crate::faults::{make_fault_behavior, FaultKind};
+use crate::faults::{make_fault_behavior, FaultKind, LifecycleNode, LifecyclePhase};
 use crate::messages::Msg;
 use crate::node::{FtGcsNode, NodeConfig};
 use crate::params::Params;
-use crate::spec::{DurationSpec, SampleSpec, SchedulerSpec, SpecError, TopologySpec};
+use crate::spec::{
+    check_churn, check_window, DurationSpec, SampleSpec, SchedulerSpec, SpecError, TopologySpec,
+};
 use crate::triggers::ModePolicy;
 
 pub use crate::spec::ScenarioSpec;
@@ -57,6 +59,7 @@ pub struct Scenario {
     mode_policy: ModePolicy,
     enable_max_estimator: bool,
     faults: Vec<(usize, FaultKind)>,
+    fault_windows: Vec<(usize, FaultKind, f64, f64)>,
     initial_offset_spread: f64,
     cluster_offsets: Vec<f64>,
     rate_overrides: Vec<(usize, RateModel)>,
@@ -114,6 +117,7 @@ impl Scenario {
             mode_policy: ModePolicy::CatchUp,
             enable_max_estimator: true,
             faults: Vec::new(),
+            fault_windows: Vec::new(),
             initial_offset_spread: 0.0,
             cluster_offsets: vec![0.0; cluster_count],
             rate_overrides: Vec::new(),
@@ -255,6 +259,7 @@ impl Scenario {
         for (node, kind) in &spec.faults {
             add_fault(&mut scenario, *node, kind)?;
         }
+        expand_lifecycle(&mut scenario, spec)?;
         for (node, model) in &spec.rate_overrides {
             scenario.rate_override(*node, model.clone());
         }
@@ -278,8 +283,9 @@ impl Scenario {
     /// Serializes the scenario back into a [`ScenarioSpec`].
     ///
     /// Sugar used at assembly time is **canonicalized**: fault sugar
-    /// becomes explicit `fault` placements, the offset ramp becomes
-    /// explicit `cluster_offset` entries. `from_spec(to_spec(s))`
+    /// becomes explicit `fault` placements, `churn` and `mobile`
+    /// directives become explicit `fault … from … to` windows, the
+    /// offset ramp becomes explicit `cluster_offset` entries. `from_spec(to_spec(s))`
     /// therefore reproduces the identical scenario even when
     /// `to_spec(from_spec(spec))` differs textually from `spec`.
     ///
@@ -345,8 +351,15 @@ impl Scenario {
                 .map(|(c, &off)| (c, off))
                 .collect(),
             faults: self.faults.clone(),
+            fault_windows: {
+                let mut windows = self.fault_windows.clone();
+                windows.sort_by(|a, b| (a.0, a.2).partial_cmp(&(b.0, b.2)).expect("finite window"));
+                windows
+            },
             faults_per_cluster: Vec::new(),
             random_faults: Vec::new(),
+            churn: Vec::new(),
+            mobile: Vec::new(),
             rate_overrides: self.rate_overrides.clone(),
             scheduler,
         })
@@ -497,6 +510,48 @@ impl Scenario {
         self
     }
 
+    /// Gives one node a time-windowed fault: it runs the correct
+    /// algorithm until `from`, behaves as `kind` over `[from, to)`, then
+    /// recovers — re-initialized, rejoining at the next round boundary
+    /// and re-integrating through the ordinary `f+1` confirmation
+    /// machinery (see [`LifecycleNode`]). Crash–recover churn and mobile
+    /// adversaries are spec-level expansions of this primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range, the window is degenerate
+    /// (`to ≤ from`, negative, or non-finite), the node already has a
+    /// permanent fault, or the window overlaps/abuts another window on
+    /// the same node (abutting windows would schedule a recovery and a
+    /// re-infection at the same instant).
+    pub fn with_fault_window(
+        &mut self,
+        node: usize,
+        kind: FaultKind,
+        from: f64,
+        to: f64,
+    ) -> &mut Self {
+        assert!(
+            node < self.cg.physical().node_count(),
+            "faulty node id out of range"
+        );
+        if let Err(e) = check_window(from, to, 0) {
+            panic!("{e}");
+        }
+        assert!(
+            self.faults.iter().all(|&(n, _)| n != node),
+            "node {node} already has a permanent fault assigned"
+        );
+        assert!(
+            self.fault_windows
+                .iter()
+                .all(|w| w.0 != node || to < w.2 || from > w.3),
+            "node {node} already has a fault window overlapping [{from}, {to})"
+        );
+        self.fault_windows.push((node, kind, from, to));
+        self
+    }
+
     /// Makes slots `0..count` of *every* cluster Byzantine with the given
     /// strategy.
     pub fn with_fault_per_cluster(&mut self, kind: &FaultKind, count: usize) -> &mut Self {
@@ -514,24 +569,58 @@ impl Scenario {
         self
     }
 
-    /// Ids of the currently assigned faulty nodes.
+    /// Ids of the currently assigned faulty nodes: permanent faults plus
+    /// every node that is faulty during *some* window. Metrics mask the
+    /// union — a recovered node's clock is usable again, but excluding
+    /// ever-faulty nodes keeps skew bounds honest about which nodes were
+    /// correct for the whole execution.
     #[must_use]
     pub fn faulty_nodes(&self) -> Vec<usize> {
-        let mut nodes: Vec<usize> = self.faults.iter().map(|&(n, _)| n).collect();
+        let mut nodes: Vec<usize> = self
+            .faults
+            .iter()
+            .map(|&(n, _)| n)
+            .chain(self.fault_windows.iter().map(|w| w.0))
+            .collect();
         nodes.sort_unstable();
+        nodes.dedup();
         nodes
     }
 
-    /// Whether any cluster's fault count exceeds the budget `f` (allowed —
-    /// some experiments deliberately break the premise — but worth
-    /// knowing).
+    /// Whether any cluster's **simultaneous** fault count ever exceeds
+    /// the budget `f` (allowed — some experiments deliberately break the
+    /// premise — but worth knowing). Time-windowed faults count only
+    /// while their windows overlap: a cluster that hosts `f` faults at
+    /// every instant but `2f` over the whole run stays within budget,
+    /// which is exactly the mobile-adversary regime of the paper's
+    /// model.
     #[must_use]
     pub fn faults_exceed_budget(&self) -> bool {
-        let mut per_cluster = vec![0usize; self.cg.cluster_count()];
-        for &(n, _) in &self.faults {
-            per_cluster[self.cg.cluster_of(n)] += 1;
-        }
-        per_cluster.iter().any(|&c| c > self.params.f)
+        (0..self.cg.cluster_count()).any(|c| {
+            let permanent = self
+                .faults
+                .iter()
+                .filter(|&&(n, _)| self.cg.cluster_of(n) == c)
+                .count();
+            // Sweep the window endpoints: +1 at `from`, −1 at `to`, ends
+            // sorting before starts at equal times so abutting windows
+            // (a handoff) never double-count.
+            let mut events: Vec<(f64, i32)> = Vec::new();
+            for w in &self.fault_windows {
+                if self.cg.cluster_of(w.0) == c {
+                    events.push((w.2, 1));
+                    events.push((w.3, -1));
+                }
+            }
+            events.sort_by(|a, b| a.partial_cmp(b).expect("finite window"));
+            let mut live = 0i32;
+            let mut peak = 0i32;
+            for (_, delta) in events {
+                live += delta;
+                peak = peak.max(live);
+            }
+            permanent + peak as usize > self.params.f
+        })
     }
 
     fn node_config(&self, cluster: usize) -> NodeConfig {
@@ -587,9 +676,25 @@ impl Scenario {
                     cfg.initial_offset += offsets.uniform(0.0, self.initial_offset_spread);
                 }
                 let fault = self.faults.iter().find(|&&(n, _)| n == node);
-                let behavior = match fault {
+                let behavior: Box<dyn ftgcs_sim::node::Behavior<Msg>> = match fault {
                     Some((_, kind)) => make_fault_behavior(kind, cfg),
-                    None => Box::new(FtGcsNode::new(cfg)),
+                    None => {
+                        let mut schedule: Vec<(f64, LifecyclePhase)> = Vec::new();
+                        for w in self.fault_windows.iter().filter(|w| w.0 == node) {
+                            schedule.push((w.2, LifecyclePhase::Faulty(w.1.clone())));
+                            schedule.push((w.3, LifecyclePhase::Correct));
+                        }
+                        if schedule.is_empty() {
+                            Box::new(FtGcsNode::new(cfg))
+                        } else {
+                            // Windows are pairwise disjoint and
+                            // non-abutting (enforced at assembly), so
+                            // sorting by time yields a strictly
+                            // increasing transition schedule.
+                            schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite window"));
+                            Box::new(LifecycleNode::new(cfg, schedule))
+                        }
+                    }
                 };
                 let id = builder.add_node(behavior);
                 debug_assert_eq!(id.index(), node);
@@ -683,6 +788,187 @@ fn random_fault_nodes(cg: &ClusterGraph, count: usize, seed: u64) -> Vec<usize> 
     nodes
 }
 
+/// Expands a spec's lifecycle directives — explicit `fault … from … to`
+/// windows, `churn`, and `mobile` — into [`Scenario`] fault windows.
+/// Runs after the permanent faults are placed, so collision checks see
+/// the complete static assignment. Everything here is a deterministic
+/// function of the spec alone (the mobile itineraries draw from
+/// dedicated `SimRng` streams seeded by the scenario seed), so the same
+/// spec produces the same windows on every scheduler and worker count.
+///
+/// Placement rules:
+///
+/// * **Explicit windows** go exactly where the spec says, re-validated
+///   so programmatically built specs get the parser's checks too.
+/// * **Churn**: churner `j` of `churn count kind period P downtime D`
+///   lands in cluster `j mod C` on its lowest-numbered member with no
+///   other fault assignment, and is down over `[s + n·P, s + n·P + D)`
+///   for every cycle `n` starting inside the horizon, with the stagger
+///   `s = P·j/count` spreading downtimes evenly over the period.
+///   Requiring `count ≤ f·C` keeps each cluster at `⌈count/C⌉ ≤ f`
+///   churners, so churn alone never breaches the per-cluster budget.
+/// * **Mobile**: adversary `j` of `mobile count kind hop H` follows a
+///   seed-derived itinerary, corrupting a fresh host every `H` seconds.
+///   Hosts are drawn uniformly from the nodes with no conflicting
+///   assignment whose cluster still has `< f` faults during the hop
+///   window; a hop that cannot be placed is a [`SpecError`]. The
+///   invariant "never more than `f` simultaneous faults per cluster"
+///   therefore holds by construction, permanent faults included —
+///   exactly the mobile-Byzantine regime the paper's per-cluster budget
+///   permits.
+fn expand_lifecycle(scenario: &mut Scenario, spec: &ScenarioSpec) -> Result<(), SpecError> {
+    if spec.fault_windows.is_empty() && spec.churn.is_empty() && spec.mobile.is_empty() {
+        return Ok(());
+    }
+    let nodes = scenario.cg.physical().node_count();
+    let clusters = scenario.cg.cluster_count();
+    let f = scenario.params.f;
+    let horizon = spec.duration.resolve(&scenario.params);
+    let mut static_faulty = vec![false; nodes];
+    for &(n, _) in &scenario.faults {
+        static_faulty[n] = true;
+    }
+    // Windows collected per node with every source mixed, so the overlap
+    // and budget checks look at the union.
+    let mut windows: Vec<Vec<(FaultKind, f64, f64)>> = vec![Vec::new(); nodes];
+    // A window is admissible when the node has no permanent fault and no
+    // window overlapping *or abutting* it — abutment would collapse a
+    // recovery and a re-infection onto one instant, and the lifecycle
+    // schedule needs strictly increasing transition times.
+    let add = |windows: &mut Vec<Vec<(FaultKind, f64, f64)>>,
+               static_faulty: &[bool],
+               node: usize,
+               kind: &FaultKind,
+               from: f64,
+               to: f64|
+     -> Result<(), SpecError> {
+        if static_faulty[node] {
+            return Err(SpecError::new(format!(
+                "node {node} has both a permanent fault and a fault window"
+            )));
+        }
+        if windows[node].iter().any(|w| from <= w.2 && to >= w.1) {
+            return Err(SpecError::new(format!(
+                "node {node} has overlapping or abutting fault windows around [{from}, {to})"
+            )));
+        }
+        windows[node].push((kind.clone(), from, to));
+        Ok(())
+    };
+
+    for &(node, ref kind, from, to) in &spec.fault_windows {
+        if node >= nodes {
+            return Err(SpecError::new(format!(
+                "fault window node {node} out of range (graph has {nodes} nodes)"
+            )));
+        }
+        check_window(from, to, 0)?;
+        add(&mut windows, &static_faulty, node, kind, from, to)?;
+    }
+
+    for &(count, ref kind, period, downtime) in &spec.churn {
+        check_churn(period, downtime, 0)?;
+        if count > f * clusters {
+            return Err(SpecError::new(format!(
+                "churn count {count} breaches the per-cluster fault budget \
+                 (at most f × clusters = {} churners keep every cluster at ≤ f)",
+                f * clusters
+            )));
+        }
+        for j in 0..count {
+            let cluster = j % clusters;
+            let host = scenario
+                .cg
+                .members(cluster)
+                .find(|&n| !static_faulty[n] && windows[n].is_empty())
+                .ok_or_else(|| {
+                    SpecError::new(format!(
+                        "cluster {cluster} has no unassigned node left for churner {j}"
+                    ))
+                })?;
+            let stagger = period * j as f64 / count as f64;
+            let mut start = stagger;
+            while start < horizon {
+                add(
+                    &mut windows,
+                    &static_faulty,
+                    host,
+                    kind,
+                    start,
+                    start + downtime,
+                )?;
+                start += period;
+            }
+        }
+    }
+
+    for (entry, &(count, ref kind, hop)) in spec.mobile.iter().enumerate() {
+        if !hop.is_finite() || hop <= 0.0 {
+            return Err(SpecError::new("mobile hop must be positive and finite"));
+        }
+        if count > f * clusters {
+            return Err(SpecError::new(format!(
+                "mobile count {count} breaches the per-cluster fault budget \
+                 (capacity is f × clusters = {})",
+                f * clusters
+            )));
+        }
+        let hops = (horizon / hop).ceil() as usize;
+        let mut rngs: Vec<SimRng> = (0..count)
+            .map(|j| {
+                SimRng::seed_from(spec.seed).derive("mobile", ((entry as u64) << 32) | j as u64)
+            })
+            .collect();
+        let mut prev: Vec<Option<usize>> = vec![None; count];
+        for w in 0..hops {
+            let t0 = hop * w as f64;
+            let t1 = hop * (w + 1) as f64;
+            for j in 0..count {
+                let candidates: Vec<usize> = (0..nodes)
+                    .filter(|&n| {
+                        // Must actually move, and the host must be free
+                        // over (and immediately around) the hop window…
+                        if static_faulty[n] || prev[j] == Some(n) {
+                            return false;
+                        }
+                        if windows[n].iter().any(|x| t0 <= x.2 && t1 >= x.1) {
+                            return false;
+                        }
+                        // …and its cluster must have a spare fault slot
+                        // for the whole window.
+                        let c = scenario.cg.cluster_of(n);
+                        let load = scenario
+                            .cg
+                            .members(c)
+                            .filter(|&m| {
+                                static_faulty[m] || windows[m].iter().any(|x| x.1 < t1 && x.2 > t0)
+                            })
+                            .count();
+                        load < f
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    return Err(SpecError::new(format!(
+                        "mobile adversary {j} cannot hop anywhere in [{t0}, {t1}) \
+                         without breaching some cluster's f-budget"
+                    )));
+                }
+                let host = candidates[rngs[j].index(candidates.len())];
+                windows[host].push((kind.clone(), t0, t1));
+                prev[j] = Some(host);
+            }
+        }
+    }
+
+    for (node, list) in windows.iter_mut().enumerate() {
+        list.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite window"));
+        for (kind, from, to) in list.drain(..) {
+            scenario.fault_windows.push((node, kind, from, to));
+        }
+    }
+    Ok(())
+}
+
 /// The output of a completed scenario.
 #[derive(Debug)]
 pub struct ScenarioRun {
@@ -743,6 +1029,168 @@ mod tests {
     fn mismatched_fault_budget_rejected() {
         let params = Params::practical(1e-4, 1e-3, 1e-4, 1).unwrap();
         let _ = Scenario::new(ClusterGraph::new(line(2), 7, 2), params);
+    }
+
+    #[test]
+    fn fault_window_registers_as_ever_faulty() {
+        let mut s = scenario();
+        let t = s.params().t_round;
+        s.with_fault_window(1, FaultKind::Silent, 2.0 * t, 4.0 * t);
+        assert_eq!(s.faulty_nodes(), vec![1]);
+        assert!(!s.faults_exceed_budget());
+        // A second, disjoint window on another node of the same cluster
+        // stays in budget (f = 1 *simultaneous* faults)…
+        s.with_fault_window(2, FaultKind::Silent, 5.0 * t, 6.0 * t);
+        assert_eq!(s.faulty_nodes(), vec![1, 2]);
+        assert!(!s.faults_exceed_budget());
+        // …until the windows overlap.
+        s.with_fault_window(3, FaultKind::Silent, 3.0 * t, 5.5 * t);
+        assert!(s.faults_exceed_budget());
+    }
+
+    #[test]
+    fn abutting_windows_do_not_break_the_budget() {
+        // A handoff at the boundary is one fault at every instant.
+        let mut s = scenario();
+        s.with_fault_window(1, FaultKind::Silent, 0.1, 0.2);
+        s.with_fault_window(2, FaultKind::Silent, 0.2, 0.3);
+        assert!(!s.faults_exceed_budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_windows_on_one_node_rejected() {
+        let mut s = scenario();
+        s.with_fault_window(1, FaultKind::Silent, 0.1, 0.3);
+        s.with_fault_window(1, FaultKind::Silent, 0.3, 0.5); // abuts
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_rejected() {
+        let mut s = scenario();
+        s.with_fault_window(1, FaultKind::Silent, 0.5, 0.5);
+    }
+
+    #[test]
+    fn windowed_fault_runs_and_recovers() {
+        let mut s = scenario();
+        let t = s.params().t_round;
+        s.seed(5);
+        s.with_fault_window(1, FaultKind::TwoFaced { amplitude: 1e-3 }, 3.0 * t, 6.0 * t);
+        let run = s.run_for(12.0 * t);
+        assert!(!run.trace.samples.is_empty());
+        assert_eq!(run.faulty, vec![1]);
+        // The recovered node pulses again after its window: correct
+        // rounds resume past 6 T.
+        let late_pulse = run
+            .trace
+            .rows_of_kind(crate::cluster::ROW_PULSE)
+            .any(|row| row.node == NodeId(1) && row.t.as_secs() > 7.0 * t);
+        assert!(late_pulse, "node 1 never pulsed after recovering");
+    }
+
+    #[test]
+    fn churn_expands_deterministically_within_budget() {
+        let mut spec = ScenarioSpec::new("churn", TopologySpec::Line(3), 1);
+        spec.duration = DurationSpec::Secs(1.0);
+        spec.churn.push((3, FaultKind::Silent, 0.3, 0.1));
+        let a = Scenario::from_spec(&spec).unwrap();
+        let b = Scenario::from_spec(&spec).unwrap();
+        assert_eq!(a.fault_windows, b.fault_windows);
+        assert!(!a.fault_windows.is_empty());
+        // Round-robin placement: one churner per cluster, so the
+        // simultaneous budget holds trivially.
+        assert_eq!(a.faulty_nodes().len(), 3);
+        assert!(!a.faults_exceed_budget());
+        // Downtime windows tile `[stagger + n·P, … + D)` within the horizon.
+        for &(_, _, from, to) in &a.fault_windows {
+            assert!((to - from - 0.1).abs() < 1e-12);
+            assert!(from < 1.0);
+        }
+    }
+
+    #[test]
+    fn mobile_expands_to_a_moving_in_budget_itinerary() {
+        let mut spec = ScenarioSpec::new("mobile", TopologySpec::Line(3), 1);
+        spec.duration = DurationSpec::Secs(1.0);
+        spec.seed = 9;
+        spec.mobile.push((1, FaultKind::Silent, 0.25));
+        let s = Scenario::from_spec(&spec).unwrap();
+        let b = Scenario::from_spec(&spec).unwrap();
+        assert_eq!(s.fault_windows, b.fault_windows);
+        assert_eq!(s.fault_windows.len(), 4, "one window per hop");
+        assert!(!s.faults_exceed_budget());
+        // Ordered by hop start, the adversary must move every hop.
+        let mut hops: Vec<(f64, usize)> = s.fault_windows.iter().map(|w| (w.2, w.0)).collect();
+        hops.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in hops.windows(2) {
+            assert_ne!(pair[0].1, pair[1].1, "mobile adversary failed to move");
+        }
+    }
+
+    #[test]
+    fn mobile_over_capacity_is_a_spec_error() {
+        let mut spec = ScenarioSpec::new("mobile", TopologySpec::Line(2), 1);
+        spec.mobile.push((3, FaultKind::Silent, 0.25));
+        let err = Scenario::from_spec(&spec).unwrap_err();
+        assert!(err.to_string().contains("breaches"), "{err}");
+    }
+
+    #[test]
+    fn static_fault_plus_window_collision_is_a_spec_error() {
+        let mut spec = ScenarioSpec::new("clash", TopologySpec::Line(2), 1);
+        spec.faults.push((1, FaultKind::Silent));
+        spec.fault_windows.push((1, FaultKind::Silent, 0.1, 0.2));
+        let err = Scenario::from_spec(&spec).unwrap_err();
+        assert!(err.to_string().contains("permanent fault"), "{err}");
+    }
+
+    #[test]
+    fn to_spec_canonicalizes_lifecycle_sugar_to_windows() {
+        let mut spec = ScenarioSpec::new("canon", TopologySpec::Line(3), 1);
+        spec.duration = DurationSpec::Secs(1.0);
+        spec.seed = 4;
+        spec.churn.push((2, FaultKind::Silent, 0.4, 0.1));
+        spec.mobile
+            .push((1, FaultKind::TwoFaced { amplitude: 1e-3 }, 0.5));
+        let s = Scenario::from_spec(&spec).unwrap();
+        let canonical = s.to_spec().unwrap();
+        assert!(canonical.churn.is_empty());
+        assert!(canonical.mobile.is_empty());
+        assert_eq!(canonical.fault_windows, s.fault_windows);
+        // The canonical spec rebuilds the identical scenario.
+        let s2 = Scenario::from_spec(&canonical).unwrap();
+        assert_eq!(s.fault_windows, s2.fault_windows);
+        assert_eq!(s.faulty_nodes(), s2.faulty_nodes());
+    }
+
+    #[test]
+    fn crash_cancels_outstanding_timers() {
+        // Satellite guard for the CrashNode fix: after the shutdown
+        // event, the crashed node fires no further timers. Compare the
+        // post-cutoff timer *increment* of a crash run against a
+        // silent-from-the-start run — identical cadences after the
+        // cutoff mean identical increments; the pre-fix behavior leaked
+        // the crashed node's still-pending round and level timers into
+        // the post-cutoff window and fails this equality.
+        let t = scenario().params().t_round;
+        let crash_at = 3.0 * t;
+        let cutoff = 3.5 * t; // past the shutdown-triggering event
+        let horizon = 20.0 * t;
+        let timers = |kind: FaultKind, until: f64| {
+            let mut s = scenario();
+            s.seed(21);
+            s.with_fault(1, kind);
+            s.run_for(until).stats.timers
+        };
+        let crash_inc = timers(FaultKind::Crash { at: crash_at }, horizon)
+            - timers(FaultKind::Crash { at: crash_at }, cutoff);
+        let silent_inc = timers(FaultKind::Silent, horizon) - timers(FaultKind::Silent, cutoff);
+        assert_eq!(
+            crash_inc, silent_inc,
+            "a crashed node must stop firing timers after shutdown"
+        );
     }
 
     #[test]

@@ -300,6 +300,23 @@ pub struct ScenarioSpec {
     pub cluster_offsets: Vec<(usize, f64)>,
     /// Explicit fault placements `(physical node, strategy)`.
     pub faults: Vec<(usize, FaultKind)>,
+    /// Time-windowed faults `(node, strategy, from, to)`: the node is
+    /// correct, runs `strategy` over `[from, to)` Newtonian seconds,
+    /// then recovers and re-integrates (`fault <node> <kind> from <t>
+    /// to <t>`).
+    pub fault_windows: Vec<(usize, FaultKind, f64, f64)>,
+    /// Churn sugar `(count, kind, period, downtime)`: `count` nodes
+    /// placed round-robin over the clusters each cycle through
+    /// `downtime` seconds of `kind` every `period` seconds, with their
+    /// downtime starts staggered across the period (`churn <count>
+    /// <kind> period <t> downtime <t>`).
+    pub churn: Vec<(usize, FaultKind, f64, f64)>,
+    /// Mobile-adversary sugar `(count, kind, hop)`: `count` adversaries
+    /// each migrate to a new host node every `hop` seconds on a
+    /// deterministic seed-derived itinerary that never exceeds `f`
+    /// simultaneous faults per cluster (`mobile <count> <kind> hop
+    /// <t>`).
+    pub mobile: Vec<(usize, FaultKind, f64)>,
     /// Sugar: the first `count` slots of *every* cluster get `kind`.
     pub faults_per_cluster: Vec<(usize, FaultKind)>,
     /// Sugar: `count` random members of each cluster get `kind`,
@@ -336,6 +353,9 @@ impl ScenarioSpec {
             offset_ramp: 0.0,
             cluster_offsets: Vec::new(),
             faults: Vec::new(),
+            fault_windows: Vec::new(),
+            churn: Vec::new(),
+            mobile: Vec::new(),
             faults_per_cluster: Vec::new(),
             random_faults: Vec::new(),
             rate_overrides: Vec::new(),
@@ -411,11 +431,24 @@ impl ScenarioSpec {
         for (node, kind) in &self.faults {
             let _ = writeln!(w, "fault {node} {}", print_fault(kind));
         }
+        for (node, kind, from, to) in &self.fault_windows {
+            let _ = writeln!(w, "fault {node} {} from {from} to {to}", print_fault(kind));
+        }
         for (count, kind) in &self.faults_per_cluster {
             let _ = writeln!(w, "fault_per_cluster {count} {}", print_fault(kind));
         }
         for (count, seed, kind) in &self.random_faults {
             let _ = writeln!(w, "random_faults {count} {seed} {}", print_fault(kind));
+        }
+        for (count, kind, period, downtime) in &self.churn {
+            let _ = writeln!(
+                w,
+                "churn {count} {} period {period} downtime {downtime}",
+                print_fault(kind)
+            );
+        }
+        for (count, kind, hop) in &self.mobile {
+            let _ = writeln!(w, "mobile {count} {} hop {hop}", print_fault(kind));
         }
         for (node, model) in &self.rate_overrides {
             let _ = writeln!(w, "rate_override {node} {}", print_rate_model(model));
@@ -547,12 +580,78 @@ impl ScenarioSpec {
                 }
                 "fault" => {
                     if args.len() < 2 {
-                        return Err(SpecError::at(lineno, "fault takes: node kind [args…]"));
+                        return Err(SpecError::at(
+                            lineno,
+                            "fault takes: node kind [args…] [from <t> to <t>]",
+                        ));
                     }
-                    spec.faults.push((
-                        parse_num(args[0], lineno)?,
-                        parse_fault(&args[1..], lineno)?,
-                    ));
+                    let node = parse_num(args[0], lineno)?;
+                    // `from` splits the kind tokens from the window:
+                    // fault kinds take only numeric arguments, so the
+                    // keyword cannot occur inside them.
+                    if let Some(split) = args.iter().position(|&a| a == "from") {
+                        let kind = parse_fault(&args[1..split], lineno)?;
+                        let window = &args[split..];
+                        if window.len() != 4 || window[2] != "to" {
+                            return Err(SpecError::at(lineno, "fault window is `from <t> to <t>`"));
+                        }
+                        let from: f64 = parse_num(window[1], lineno)?;
+                        let to: f64 = parse_num(window[3], lineno)?;
+                        check_window(from, to, lineno)?;
+                        spec.fault_windows.push((node, kind, from, to));
+                    } else {
+                        spec.faults.push((node, parse_fault(&args[1..], lineno)?));
+                    }
+                }
+                "churn" => {
+                    let usage = "churn takes: count kind [args…] period <t> downtime <t>";
+                    if args.len() < 2 {
+                        return Err(SpecError::at(lineno, usage));
+                    }
+                    let count: usize = parse_num(args[0], lineno)?;
+                    if count == 0 {
+                        return Err(SpecError::at(lineno, "churn count must be at least 1"));
+                    }
+                    let split = args
+                        .iter()
+                        .position(|&a| a == "period")
+                        .ok_or_else(|| SpecError::at(lineno, usage))?;
+                    let kind = parse_fault(&args[1..split], lineno)?;
+                    let tail = &args[split..];
+                    if tail.len() != 4 || tail[2] != "downtime" {
+                        return Err(SpecError::at(lineno, usage));
+                    }
+                    let period: f64 = parse_num(tail[1], lineno)?;
+                    let downtime: f64 = parse_num(tail[3], lineno)?;
+                    check_churn(period, downtime, lineno)?;
+                    spec.churn.push((count, kind, period, downtime));
+                }
+                "mobile" => {
+                    let usage = "mobile takes: count kind [args…] hop <t>";
+                    if args.len() < 2 {
+                        return Err(SpecError::at(lineno, usage));
+                    }
+                    let count: usize = parse_num(args[0], lineno)?;
+                    if count == 0 {
+                        return Err(SpecError::at(lineno, "mobile count must be at least 1"));
+                    }
+                    let split = args
+                        .iter()
+                        .position(|&a| a == "hop")
+                        .ok_or_else(|| SpecError::at(lineno, usage))?;
+                    let kind = parse_fault(&args[1..split], lineno)?;
+                    let tail = &args[split..];
+                    if tail.len() != 2 {
+                        return Err(SpecError::at(lineno, usage));
+                    }
+                    let hop: f64 = parse_num(tail[1], lineno)?;
+                    if !hop.is_finite() || hop <= 0.0 {
+                        return Err(SpecError::at(
+                            lineno,
+                            "mobile hop must be positive and finite",
+                        ));
+                    }
+                    spec.mobile.push((count, kind, hop));
                 }
                 "fault_per_cluster" => {
                     if args.len() < 2 {
@@ -635,6 +734,46 @@ impl ScenarioSpec {
 /// [`Scenario::from_spec`]: crate::runner::Scenario::from_spec
 pub(crate) fn name_is_canonical(name: &str) -> bool {
     !name.is_empty() && !name.contains(char::is_whitespace) && !name.contains('#')
+}
+
+/// Validates one fault window: finite bounds, `from ≥ 0`, `to > from`.
+/// Shared by the parser (with a line number) and
+/// [`Scenario::from_spec`] (line 0) so programmatic specs get the same
+/// `SpecError` instead of a panic.
+///
+/// [`Scenario::from_spec`]: crate::runner::Scenario::from_spec
+pub(crate) fn check_window(from: f64, to: f64, line: usize) -> Result<(), SpecError> {
+    if !from.is_finite() || !to.is_finite() || from < 0.0 {
+        return Err(SpecError::at(
+            line,
+            "fault window bounds must be finite and non-negative",
+        ));
+    }
+    if to <= from {
+        return Err(SpecError::at(
+            line,
+            format!("fault window is inverted: to {to} must exceed from {from}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Validates churn timing: finite `period > 0` and `0 < downtime <
+/// period` (a node must be up part of every cycle to re-integrate).
+pub(crate) fn check_churn(period: f64, downtime: f64, line: usize) -> Result<(), SpecError> {
+    if !period.is_finite() || period <= 0.0 {
+        return Err(SpecError::at(
+            line,
+            "churn period must be positive and finite",
+        ));
+    }
+    if !downtime.is_finite() || downtime <= 0.0 || downtime >= period {
+        return Err(SpecError::at(
+            line,
+            format!("churn downtime must satisfy 0 < downtime < period, got {downtime}"),
+        ));
+    }
+    Ok(())
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, SpecError> {
@@ -912,6 +1051,66 @@ mod tests {
         let err =
             ScenarioSpec::parse("name x\ntopology line 2\nf 2\ncluster_size 4\n").unwrap_err();
         assert!(err.msg.contains("3f+1"));
+    }
+
+    #[test]
+    fn lifecycle_directives_round_trip() {
+        let mut spec = ScenarioSpec::new("lifecycle", TopologySpec::Line(3), 1);
+        spec.fault_windows = vec![
+            (2, FaultKind::TwoFaced { amplitude: 1e-3 }, 0.5, 1.5),
+            (5, FaultKind::Silent, 1.0, 2.0),
+        ];
+        spec.churn = vec![(2, FaultKind::Silent, 1.0, 0.25)];
+        spec.mobile = vec![(1, FaultKind::SkewPuller { offset: -1e-3 }, 0.5)];
+        let text = spec.print();
+        assert!(text.contains("fault 2 two_faced 0.001 from 0.5 to 1.5"));
+        assert!(text.contains("churn 2 silent period 1 downtime 0.25"));
+        assert!(text.contains("mobile 1 skew_puller -0.001 hop 0.5"));
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn inverted_window_is_a_spec_error() {
+        let err = ScenarioSpec::parse("name x\ntopology line 2\nfault 0 silent from 2 to 2\n")
+            .unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("inverted"));
+        assert!(
+            ScenarioSpec::parse("name x\ntopology line 2\nfault 0 silent from -1 to 2\n").is_err()
+        );
+    }
+
+    #[test]
+    fn bad_churn_timing_is_a_spec_error() {
+        let base = "name x\ntopology line 2\n";
+        for bad in [
+            "churn 1 silent period 1 downtime -0.5\n",
+            "churn 1 silent period 1 downtime 1\n",
+            "churn 1 silent period 0 downtime 0.5\n",
+            "churn 0 silent period 1 downtime 0.5\n",
+            "churn 1 silent downtime 0.5\n",
+        ] {
+            assert!(
+                ScenarioSpec::parse(&format!("{base}{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_mobile_directive_is_a_spec_error() {
+        let base = "name x\ntopology line 2\n";
+        for bad in [
+            "mobile 1 silent hop 0\n",
+            "mobile 1 silent hop -1\n",
+            "mobile 0 silent hop 1\n",
+            "mobile 1 silent\n",
+        ] {
+            assert!(
+                ScenarioSpec::parse(&format!("{base}{bad}")).is_err(),
+                "accepted {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -129,7 +129,7 @@ fn assemble(
         _ => SchedulerSpec::Parallel((sched % 7) as usize),
     };
     for (i, &(a, b, c)) in lists.iter().enumerate() {
-        match a % 5 {
+        match a % 8 {
             0 => spec.cluster_offsets.push((i, pick_f64(b) * 1e-4)),
             1 => {
                 // Explicit faults must be unique per node; index by i.
@@ -141,6 +141,22 @@ fn assemble(
             3 => spec
                 .random_faults
                 .push(((b % 3) as usize, c, pick_fault(b, c))),
+            4 => {
+                // Windows are per-node like explicit faults; index by i
+                // keeps them collision-free, and the grid is positive so
+                // `to > from` always holds.
+                let from = pick_f64(b);
+                spec.fault_windows
+                    .push((i, pick_fault(b, c), from, from + pick_f64(c)));
+            }
+            5 => {
+                let period = pick_f64(b);
+                spec.churn
+                    .push((1 + (b % 3) as usize, pick_fault(c, b), period, period / 2.0));
+            }
+            6 => spec
+                .mobile
+                .push((1 + (c % 2) as usize, pick_fault(b, c), pick_f64(c))),
             _ => spec.rate_overrides.push((i, pick_rate_model(b, c, b ^ c))),
         }
     }
@@ -157,7 +173,7 @@ proptest! {
         duration in (0u64..4, 0u64..8),
         knobs in (0u64..5, 0u64..5, 0u64..8, 0u64..8, 0u64..3),
         sugar in (0u64..6, 0u64..8, 0u64..9),
-        lists in prop::collection::vec((0u64..5, 0u64..9, 0u64..9), 0..6),
+        lists in prop::collection::vec((0u64..8, 0u64..9, 0u64..9), 0..6),
     ) {
         let spec = assemble(topo, f, extra_k, seed, duration, knobs, sugar, &lists);
         let text = spec.print();
@@ -184,6 +200,7 @@ fn from_spec_to_spec_round_trips_for_feasible_specs() {
     spec.offset_spread = 1e-5;
     spec.cluster_offsets = vec![(2, 3e-4)];
     spec.faults = vec![(1, FaultKind::Silent)];
+    spec.fault_windows = vec![(2, FaultKind::TwoFaced { amplitude: 1e-3 }, 0.02, 0.05)];
     spec.rate_overrides = vec![(0, RateModel::Constant { frac: 0.0 })];
     spec.scheduler = SchedulerSpec::Parallel(2);
     let scenario = Scenario::from_spec(&spec).expect("feasible spec builds");

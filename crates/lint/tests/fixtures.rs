@@ -41,6 +41,11 @@ const EXPECTED_BAD: &[(&str, &[(usize, &str)])] = &[
         &[(3, "allow-needs-reason")],
     ),
     (
+        "crates/core/src/lifecycle_wall_clock.rs",
+        &[(5, "no-wall-clock")],
+    ),
+    ("crates/core/src/lifecycle_os_rng.rs", &[(5, "no-os-rng")]),
+    (
         "crates/sim/src/pragma_missing_reason.rs",
         &[(6, "bad-pragma"), (6, "no-wall-clock")],
     ),
@@ -88,9 +93,10 @@ fn every_good_fixture_passes() {
         "good fixtures must be clean, got:\n{}",
         report.render()
     );
-    // All nine good fixtures were actually visited (one per rule, plus
-    // the bench-scoped hash/print counterexamples).
-    assert_eq!(report.files_scanned, 9);
+    // All ten good fixtures were actually visited (one per rule, the
+    // bench-scoped hash/print counterexamples, and the clean
+    // fault-lifecycle file).
+    assert_eq!(report.files_scanned, 10);
 }
 
 /// The CLI contract CI relies on: exit 0 on clean trees, exit 1 with

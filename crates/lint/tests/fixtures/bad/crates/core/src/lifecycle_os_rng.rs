@@ -1,0 +1,8 @@
+//! Bad: a mobile-adversary itinerary drawn from OS entropy — hop
+//! placement must derive from the run seed or runs stop replaying.
+
+pub fn pick_next_host(candidates: &[usize]) -> usize {
+    let roll = std::collections::hash_map::RandomState::new();
+    let i = std::hash::BuildHasher::hash_one(&roll, candidates.len()) as usize;
+    candidates[i % candidates.len()]
+}

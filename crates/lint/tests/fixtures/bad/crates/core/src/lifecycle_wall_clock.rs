@@ -1,0 +1,9 @@
+//! Bad: a fault-lifecycle transition timed off the host clock —
+//! recovery instants must be Newtonian spec times, never wall time.
+
+pub fn next_transition_due(window_end_secs: u64) -> bool {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() >= window_end_secs)
+        .unwrap_or(false)
+}

@@ -1,0 +1,30 @@
+//! Good: fault-lifecycle code done right — transition instants are
+//! Newtonian times carried by the spec, and the mobile itinerary is
+//! derived from the run seed. `SystemTime` and `thread_rng` appear
+//! only in prose and strings, which the scanner must ignore.
+
+/// Deterministic hop choice: a seed-derived stream, never OS entropy.
+pub struct ItineraryRng(u64);
+
+impl ItineraryRng {
+    pub fn derive(seed: u64, adversary: u64) -> Self {
+        ItineraryRng(seed ^ adversary.rotate_left(17))
+    }
+
+    pub fn index(&mut self, len: usize) -> usize {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) as usize % len.max(1)
+    }
+}
+
+/// Transition times come from the spec's fault windows (Newtonian
+/// seconds), so replays are exact; no host clock anywhere.
+pub fn transitions(windows: &[(f64, f64)]) -> Vec<f64> {
+    let mut times: Vec<f64> = windows.iter().flat_map(|&(a, b)| [a, b]).collect();
+    times.sort_by(|x, y| x.partial_cmp(y).expect("finite window times"));
+    times
+}
+
+pub fn banner() -> &'static str {
+    "lifecycle code never calls SystemTime::now or thread_rng"
+}

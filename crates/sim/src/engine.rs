@@ -94,6 +94,13 @@ struct TimerSlot {
     track: TrackId,
     target: f64,
     tag: TimerTag,
+    /// Newtonian timers fire at an absolute simulation time instead of a
+    /// track reading: `target` is interpreted in Newtonian seconds, the
+    /// slot lives on `NodeState::newtonian_timers` rather than a track
+    /// list, and re-anchoring a track never reschedules it. Used by the
+    /// fault-lifecycle layer, whose transition times are spec-given
+    /// Newtonian instants.
+    newtonian: bool,
     /// Bumped on every reschedule (re-anchoring); stale heap entries
     /// carry an older generation and are skipped on pop.
     generation: u32,
@@ -218,6 +225,10 @@ pub(crate) struct NodeState {
     tracks: Vec<Track>,
     /// track → pending timer ids.
     track_timers: Vec<Vec<usize>>,
+    /// Pending Newtonian (absolute-time) timer ids — the one timer list
+    /// that `reanchor` never walks, since Newtonian targets are immune
+    /// to track-rate changes.
+    newtonian_timers: Vec<usize>,
     timer_slots: Vec<TimerSlot>,
     timer_free: Vec<usize>,
     rng: SimRng,
@@ -264,7 +275,11 @@ impl NodeState {
     /// into its place.
     fn unlink_timer(&mut self, id: usize) {
         let slot = self.timer_slots[id];
-        let list = &mut self.track_timers[slot.track.index()];
+        let list = if slot.newtonian {
+            &mut self.newtonian_timers
+        } else {
+            &mut self.track_timers[slot.track.index()]
+        };
         let pos = slot.list_pos;
         debug_assert_eq!(list[pos], id, "timer back-pointer out of sync");
         list.swap_remove(pos);
@@ -295,6 +310,26 @@ impl NodeState {
         self.timer_slots[id].active = false;
         self.unlink_timer(id);
         self.timer_free.push(id);
+    }
+
+    /// Deactivates every pending timer of this node in slot order and
+    /// returns how many were live. Already-queued heap entries become
+    /// stale (inactive slots are skipped on pop) — no heap surgery, no
+    /// allocation beyond the free-list pushes.
+    fn cancel_all_timers(&mut self) -> usize {
+        let mut cancelled = 0;
+        for id in 0..self.timer_slots.len() {
+            if self.timer_slots[id].active {
+                self.timer_slots[id].active = false;
+                self.timer_free.push(id);
+                cancelled += 1;
+            }
+        }
+        for list in &mut self.track_timers {
+            list.clear();
+        }
+        self.newtonian_timers.clear();
+        cancelled
     }
 }
 
@@ -523,9 +558,12 @@ impl<M: Clone> Ctx<'_, M> {
 
     fn schedule_timer_entry(&mut self, id: usize) {
         let slot = self.state.timer_slots[id];
-        let time = self
-            .state
-            .when_track_reaches(slot.track, slot.target, self.now);
+        let time = if slot.newtonian {
+            SimTime::from_secs(slot.target).max(self.now)
+        } else {
+            self.state
+                .when_track_reaches(slot.track, slot.target, self.now)
+        };
         let tie = self.state.next_tie(self.node);
         self.queue.push(
             self.node,
@@ -555,12 +593,58 @@ impl<M: Clone> Ctx<'_, M> {
             track,
             target,
             tag,
+            newtonian: false,
             generation: 0,
             epoch: 0,
             active: true,
             list_pos,
         };
-        let id = if let Some(id) = self.state.timer_free.pop() {
+        let id = self.install_timer_slot(slot);
+        self.state.track_timers[track.index()].push(id);
+        self.schedule_timer_entry(id);
+        TimerId {
+            id,
+            epoch: self.state.timer_slots[id].epoch,
+        }
+    }
+
+    /// Schedules [`Behavior::on_timer`] at an absolute **Newtonian**
+    /// instant, independent of every clock track.
+    ///
+    /// Unlike [`Ctx::set_timer_at`], the firing time is immune to rate
+    /// changes and track jumps: the event is queued once with the
+    /// standard `(time, source, counter)` dispatch key and never
+    /// rescheduled. A target in the past fires at the current instant
+    /// (after this callback returns). This is the scheduling primitive
+    /// of the fault-lifecycle layer — transitions are spec-given
+    /// Newtonian times, and omniscient-adversary machinery is the one
+    /// place Newtonian scheduling is legitimate.
+    pub fn set_timer_at_newtonian(&mut self, at_secs: f64, tag: TimerTag) -> TimerId {
+        assert!(at_secs.is_finite(), "Newtonian timer target must be finite");
+        let slot = TimerSlot {
+            track: TrackId::MAIN,
+            target: at_secs,
+            tag,
+            newtonian: true,
+            generation: 0,
+            epoch: 0,
+            active: true,
+            list_pos: self.state.newtonian_timers.len(),
+        };
+        let id = self.install_timer_slot(slot);
+        self.state.newtonian_timers.push(id);
+        self.schedule_timer_entry(id);
+        TimerId {
+            id,
+            epoch: self.state.timer_slots[id].epoch,
+        }
+    }
+
+    /// Installs `slot` into the slab, reusing a free slot (bumping its
+    /// generation and epoch so stale heap entries and stale handles
+    /// cannot touch the new timer) or growing the slab.
+    fn install_timer_slot(&mut self, slot: TimerSlot) -> usize {
+        if let Some(id) = self.state.timer_free.pop() {
             let generation = self.state.timer_slots[id].generation.wrapping_add(1);
             let epoch = self.state.timer_slots[id].epoch.wrapping_add(1);
             self.state.timer_slots[id] = TimerSlot {
@@ -572,13 +656,44 @@ impl<M: Clone> Ctx<'_, M> {
         } else {
             self.state.timer_slots.push(slot);
             self.state.timer_slots.len() - 1
-        };
-        self.state.track_timers[track.index()].push(id);
-        self.schedule_timer_entry(id);
-        TimerId {
-            id,
-            epoch: self.state.timer_slots[id].epoch,
         }
+    }
+
+    /// Cancels **every** pending timer of this node (track-driven and
+    /// Newtonian alike), returning how many were live.
+    ///
+    /// Already-queued heap entries are left in place and skipped as
+    /// stale when popped. This is the shutdown primitive of crash and
+    /// lifecycle behaviors: a crashed node must not drag its dead
+    /// timers through the event queue for the rest of the run.
+    pub fn cancel_all_timers(&mut self) -> usize {
+        self.state.cancel_all_timers()
+    }
+
+    /// Drops every clock track except [`TrackId::MAIN`], which survives
+    /// with its value and rate untouched.
+    ///
+    /// Requires that no pending timer references any track (call
+    /// [`Ctx::cancel_all_timers`] first). The fault-lifecycle layer uses
+    /// this when a node's behavior is replaced mid-run: the successor
+    /// re-creates its tracks from scratch, and `new_track` hands out the
+    /// same contiguous indices a boot-time start would have seen — so
+    /// layout contracts like "track `1 + i` is estimator `i`" keep
+    /// holding across recoveries, and tracks do not grow without bound
+    /// under churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any timer is still pending.
+    pub fn reset_tracks(&mut self) {
+        assert!(
+            self.state.track_timers.iter().all(Vec::is_empty)
+                && self.state.newtonian_timers.is_empty(),
+            "reset_tracks with pending timers on {}: cancel_all_timers first",
+            self.node
+        );
+        self.state.tracks.truncate(1);
+        self.state.track_timers.truncate(1);
     }
 
     /// Cancels a pending timer; cancelling an already-fired or cancelled
@@ -906,6 +1021,7 @@ impl<M: Clone> SimBuilder<M> {
                             multiplier: 1.0,
                         }],
                         track_timers: vec![Vec::new()],
+                        newtonian_timers: Vec::new(),
                         timer_slots: Vec::new(),
                         timer_free: Vec::new(),
                         rng: root.derive("node", i as u64),
@@ -1451,6 +1567,146 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(10.0));
         assert_eq!(*fired.lock().unwrap(), vec![2]);
+    }
+
+    /// Exercises the lifecycle primitives: Newtonian timers,
+    /// `cancel_all_timers`, and `reset_tracks`.
+    struct LifecyclePrims {
+        fired: Arc<Mutex<Vec<(u32, f64)>>>,
+        plan: &'static str,
+    }
+
+    impl Behavior<()> for LifecyclePrims {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            match self.plan {
+                "newtonian" => {
+                    // Track runs at double rate: the logical timer for
+                    // L = 2 fires at t = 1, while the Newtonian timer
+                    // for t = 2 ignores the track entirely.
+                    ctx.set_multiplier(TrackId::MAIN, 2.0);
+                    ctx.set_timer_at(TrackId::MAIN, 2.0, TimerTag::new(1));
+                    ctx.set_timer_at_newtonian(2.0, TimerTag::new(2));
+                }
+                "newtonian-reanchor" => {
+                    // A value jump reschedules pending logical timers
+                    // (reanchor) but must leave Newtonian ones alone.
+                    ctx.set_timer_at_newtonian(3.0, TimerTag::new(2));
+                    ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1));
+                }
+                "newtonian-past" => {
+                    // A target in the past clamps to "now" (fires on the
+                    // next dispatch), never schedules backwards.
+                    ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1));
+                }
+                "cancel-all" | "reset" => {
+                    ctx.set_timer_at(TrackId::MAIN, 2.0, TimerTag::new(3));
+                    ctx.set_timer_at_newtonian(2.5, TimerTag::new(4));
+                    ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1));
+                }
+                "reset-pending" => {
+                    ctx.set_timer_at(TrackId::MAIN, 2.0, TimerTag::new(3));
+                    ctx.set_timer_at(TrackId::MAIN, 1.0, TimerTag::new(1));
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, tag: TimerTag) {
+            self.fired
+                .lock()
+                .unwrap()
+                .push((tag.kind, ctx.newtonian_now().as_secs()));
+            if tag.kind != 1 {
+                return;
+            }
+            match self.plan {
+                "newtonian-reanchor" => ctx.jump_track(TrackId::MAIN, 10.0),
+                "newtonian-past" => {
+                    ctx.set_timer_at_newtonian(0.25, TimerTag::new(2));
+                }
+                "cancel-all" => {
+                    assert_eq!(ctx.cancel_all_timers(), 2);
+                    assert_eq!(ctx.cancel_all_timers(), 0);
+                }
+                "reset" => {
+                    let extra = ctx.new_track(0.0, 1.0);
+                    assert_eq!(extra.index(), 1);
+                    ctx.cancel_all_timers();
+                    ctx.reset_tracks();
+                    // A fresh track re-issues the first extra index.
+                    assert_eq!(ctx.new_track(5.0, 1.0).index(), 1);
+                }
+                "reset-pending" => ctx.reset_tracks(),
+                _ => {}
+            }
+        }
+    }
+
+    fn run_lifecycle_plan(plan: &'static str) -> Vec<(u32, f64)> {
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let mut b = SimBuilder::new(fixed_delay_config());
+        b.add_node(Box::new(LifecyclePrims {
+            fired: fired.clone(),
+            plan,
+        }));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(10.0));
+        let v = fired.lock().unwrap().clone();
+        v
+    }
+
+    #[test]
+    fn newtonian_timer_ignores_track_rate() {
+        let fired = run_lifecycle_plan("newtonian");
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].0, 1);
+        assert!(
+            (fired[0].1 - 1.0).abs() < 1e-12,
+            "logical at {}",
+            fired[0].1
+        );
+        assert_eq!(fired[1].0, 2);
+        assert!(
+            (fired[1].1 - 2.0).abs() < 1e-12,
+            "newtonian at {}",
+            fired[1].1
+        );
+    }
+
+    #[test]
+    fn newtonian_timer_survives_reanchor() {
+        // The jump at t = 1 fires nothing early: the Newtonian timer
+        // still lands at exactly t = 3.
+        let fired = run_lifecycle_plan("newtonian-reanchor");
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[1].0, 2);
+        assert!((fired[1].1 - 3.0).abs() < 1e-12, "fired at {}", fired[1].1);
+    }
+
+    #[test]
+    fn newtonian_timer_in_the_past_fires_now() {
+        let fired = run_lifecycle_plan("newtonian-past");
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[1].0, 2);
+        assert!((fired[1].1 - 1.0).abs() < 1e-12, "fired at {}", fired[1].1);
+    }
+
+    #[test]
+    fn cancel_all_timers_silences_both_kinds() {
+        let fired = run_lifecycle_plan("cancel-all");
+        assert_eq!(fired, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn reset_tracks_reissues_track_indices() {
+        let fired = run_lifecycle_plan("reset");
+        assert_eq!(fired, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cancel_all_timers first")]
+    fn reset_tracks_with_pending_timers_panics() {
+        let _ = run_lifecycle_plan("reset-pending");
     }
 
     struct StaleCanceller {
