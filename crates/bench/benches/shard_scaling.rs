@@ -18,11 +18,14 @@
 //! partition (one shard holding the hub cluster plus a third of the
 //! spokes, singleton shards for the rest) — the shape that pinned most
 //! of every window on worker 0 under the old static `shard % workers`
-//! assignment. The final "bench" prints `balance/...` lines recording
-//! each worker's *dealt* share of all events
+//! assignment. The final "benches" print `events/...` lines (the
+//! deterministic per-cell event counts, so `scripts/bench.sh` can
+//! derive machine-local events/sec from the medians) and `balance/...`
+//! lines recording each worker's *dealt* share of all events
 //! (`Simulation::planned_worker_events`, deterministic on any machine);
-//! `scripts/bench.sh` captures them into `BENCH_shard_scaling.json`,
-//! where no worker may exceed 60%.
+//! `scripts/bench.sh` captures both into `BENCH_shard_scaling.json`,
+//! where no worker may exceed 60% and throughput may not regress more
+//! than 2x against the checked-in baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftgcs::params::Params;
@@ -129,6 +132,7 @@ fn free_run_graph(
         seed: 9,
         sample_interval: Some(SimDuration::from_millis(10.0)),
         scheduler,
+        telemetry: false,
     };
     let mut builder = SimBuilder::<BaseMsg>::new(config);
     for _ in 0..cg.physical().node_count() {
@@ -234,6 +238,46 @@ fn bench_hub_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Not a timing group: one deterministic run per `(group, label)` cell,
+/// printing the cell's total event count. The counts are a pure
+/// function of `(seed, config)` — identical on every machine and every
+/// scheduler (pinned by `shard_equivalence.rs`) — so dividing them by
+/// the machine-local medians gives a throughput figure:
+/// `scripts/bench.sh` joins these lines with the criterion medians into
+/// `events_per_sec` fields in `BENCH_shard_scaling.json`, and gates on
+/// a >2x throughput regression against the checked-in baseline.
+fn report_group_events(_c: &mut Criterion) {
+    let params = Params::practical(1e-4, 1e-3, 1e-4, 1).expect("feasible");
+    for shards in [1usize, 2, 4, 8, 64] {
+        let events = free_run_once(scheduler_for(shards));
+        println!("events/shard_scaling_free_run/{shards}: {events} events");
+    }
+    for workers in [1usize, 2, 4, 8] {
+        let events = free_run_once(parallel_for(workers));
+        println!("events/shard_scaling_free_run_parallel/{workers}: {events} events");
+    }
+    for shards in [1usize, 2, 4, 8, 64] {
+        let events = cluster_second_once(&params, scheduler_for(shards));
+        println!("events/shard_scaling_cluster_second/{shards}: {events} events");
+    }
+    for workers in [1usize, 2, 4, 8] {
+        let events = cluster_second_once(&params, parallel_for(workers));
+        println!("events/shard_scaling_cluster_second_parallel/{workers}: {events} events");
+    }
+    let cg = hub_graph();
+    for workers in [1usize, 2, 4] {
+        let (events, _) = free_run_graph(
+            &cg,
+            SchedulerKind::Parallel {
+                partition: hub_partition(),
+                workers,
+            },
+            Some(workers),
+        );
+        println!("events/shard_scaling_hub_parallel/{workers}: {events} events");
+    }
+}
+
 /// Not a timing group: one deterministic hub-and-spoke run at 4 pinned
 /// workers, printing each worker's dealt share of all events. The
 /// shares are a pure function of `(seed, config, worker count)` — see
@@ -264,6 +308,7 @@ criterion_group!(
     bench_cluster_second_scaling,
     bench_cluster_second_parallel,
     bench_hub_parallel,
+    report_group_events,
     report_hub_balance
 );
 criterion_main!(benches);

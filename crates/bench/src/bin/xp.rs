@@ -1,7 +1,7 @@
 //! `xp` — the unified experiment driver.
 //!
 //! ```sh
-//! xp run <spec-file>                # execute one experiment
+//! xp run <spec-file> [--telemetry <out.json>] [--progress]
 //! xp sweep <spec-file> key=v1,v2 …  # cartesian sweep over spec keys
 //! xp list [dir]                     # validate + list specs (default: experiments/)
 //! ```
@@ -12,28 +12,97 @@
 //! samples and rows flow through bounded-memory observers into
 //! `results/*.csv`, never materializing a full trace.
 //!
+//! `--telemetry <out.json>` turns on the engine's side-channel counters
+//! and writes the machine-readable run report (schema
+//! `ftgcs-telemetry-v1`); `--progress` adds a stderr heartbeat. Both
+//! leave stdout, the CSVs, and the simulated trace byte-identical.
+//!
 //! ```sh
 //! cargo run --release -p ftgcs-bench --bin xp -- run experiments/f1_cluster_convergence.spec
+//! cargo run --release -p ftgcs-bench --bin xp -- run experiments/long_line_demo.spec --telemetry results/long_line_demo_telemetry.json
 //! cargo run --release -p ftgcs-bench --bin xp -- sweep experiments/long_line_demo.spec seed=1,2,3
 //! ```
 
-use std::path::Path;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ftgcs_bench::driver::{self, SweepAxis};
+use ftgcs_bench::driver::{self, RunOptions, SweepAxis};
+use ftgcs_sim::telemetry::alloc_probe;
+
+/// Feeds every heap allocation this process makes into the telemetry
+/// allocation probe, so the `alloc.allocations` field of a
+/// `--telemetry` report counts real allocator traffic (the same
+/// discipline `crates/sim/tests/hot_path_alloc.rs` enforces in CI).
+/// When no report is requested the probe is still bumped — one relaxed
+/// atomic add per allocation, unobservable next to the allocation
+/// itself.
+struct CountingAlloc;
+
+// SAFETY: every operation delegates directly to `System`, inheriting
+// its `GlobalAlloc` contract; the added relaxed counter bump touches no
+// allocator state and cannot unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        alloc_probe::note_alloc();
+        System.alloc(layout)
+    }
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        alloc_probe::note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "usage:
-  xp run <spec-file>
+  xp run <spec-file> [--telemetry <out.json>] [--progress]
   xp sweep <spec-file> key=v1,v2[,…] [key=…]
   xp list [dir]        (default dir: experiments)";
+
+/// Parses `xp run`'s operands: the spec path plus optional
+/// `--telemetry <out.json>` / `--progress` flags, in any order after
+/// the path.
+fn parse_run(args: &[String]) -> Result<(PathBuf, RunOptions), String> {
+    let mut spec: Option<PathBuf> = None;
+    let mut opts = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--telemetry" => {
+                let out = it
+                    .next()
+                    .ok_or_else(|| format!("--telemetry needs an output path\n{USAGE}"))?;
+                opts.telemetry = Some(PathBuf::from(out));
+            }
+            "--progress" => opts.progress = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}\n{USAGE}"));
+            }
+            path => {
+                if spec.replace(PathBuf::from(path)).is_some() {
+                    return Err(USAGE.to_string());
+                }
+            }
+        }
+    }
+    let spec = spec.ok_or_else(|| USAGE.to_string())?;
+    Ok((spec, opts))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("run") => match args.get(1) {
-            Some(path) if args.len() == 2 => driver::run_file(Path::new(path)),
-            _ => Err(USAGE.to_string()),
-        },
+        Some("run") if args.len() >= 2 => {
+            parse_run(&args[1..]).and_then(|(spec, opts)| driver::run_file_with(&spec, &opts))
+        }
         Some("sweep") => match args.get(1) {
             Some(path) if args.len() >= 3 => args[2..]
                 .iter()

@@ -17,16 +17,32 @@
 //! how long the horizon, no full-`Trace` materialization.
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use ftgcs::runner::Scenario;
 use ftgcs_metrics::skew::FaultMask;
 use ftgcs_metrics::stream::{CsvSampleWriter, RowCounter, SkewStream};
 use ftgcs_metrics::table::Table;
 use ftgcs_sim::observe::{Fanout, Observer};
+use ftgcs_sim::trace::ClockSample;
+use ftgcs_sim::Stopwatch;
 
 use crate::spec::SpecFile;
 use crate::{emit_table, exp, results_dir};
+
+/// Flags for one `xp run` invocation. Both are pure side channels: the
+/// trace, the CSVs, and everything written to **stdout** are
+/// byte-identical whether they are set or not.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// `--telemetry <out.json>`: enable the engine's telemetry counters
+    /// and write the machine-readable [`ftgcs_sim::TelemetryReport`]
+    /// JSON here after the run.
+    pub telemetry: Option<PathBuf>,
+    /// `--progress`: emit a once-a-second heartbeat to **stderr**
+    /// (simulated time reached, samples/rows streamed, wall seconds).
+    pub progress: bool,
+}
 
 /// Loads and runs one experiment file.
 ///
@@ -35,8 +51,18 @@ use crate::{emit_table, exp, results_dir};
 /// Returns a human-readable message if the file cannot be read, parsed,
 /// or executed.
 pub fn run_file(path: &Path) -> Result<(), String> {
+    run_file_with(path, &RunOptions::default())
+}
+
+/// [`run_file`] with explicit [`RunOptions`].
+///
+/// # Errors
+///
+/// Returns a human-readable message if the file cannot be read, parsed,
+/// or executed.
+pub fn run_file_with(path: &Path, opts: &RunOptions) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    run_text(&path.display().to_string(), &text)
+    run_text_with(&path.display().to_string(), &text, opts)
 }
 
 /// Runs one experiment from its text form. `label` names the source in
@@ -46,9 +72,27 @@ pub fn run_file(path: &Path) -> Result<(), String> {
 ///
 /// Returns a human-readable message on parse or execution failure.
 pub fn run_text(label: &str, text: &str) -> Result<(), String> {
+    run_text_with(label, text, &RunOptions::default())
+}
+
+/// [`run_text`] with explicit [`RunOptions`].
+///
+/// # Errors
+///
+/// Returns a human-readable message on parse or execution failure, and
+/// if telemetry/progress flags are passed for an `analysis` spec (those
+/// run many scenarios internally; the flags drive the streaming
+/// runner).
+pub fn run_text_with(label: &str, text: &str, opts: &RunOptions) -> Result<(), String> {
     let file = SpecFile::parse(text).map_err(|e| format!("{label}: {e}"))?;
     match &file.analysis {
         Some(name) => {
+            if opts.telemetry.is_some() || opts.progress {
+                return Err(format!(
+                    "{label}: --telemetry/--progress drive the streaming runner; this spec \
+                     names an `analysis` (it runs its own grid of scenarios internally)"
+                ));
+            }
             let analysis = exp::find(name).ok_or_else(|| {
                 format!(
                     "{label}: unknown analysis {name:?} (known: {})",
@@ -62,7 +106,64 @@ pub fn run_text(label: &str, text: &str) -> Result<(), String> {
             analysis(&file);
             Ok(())
         }
-        None => streaming_run(label, &file),
+        None => streaming_run(label, &file, opts),
+    }
+}
+
+/// The `--progress` heartbeat: wall-clock cadence, streamed to
+/// **stderr** only, so stdout and every results file stay
+/// byte-identical with or without the flag.
+struct Progress {
+    sw: Stopwatch,
+    next_at: f64,
+    horizon: f64,
+    samples: u64,
+    rows: u64,
+}
+
+impl Progress {
+    fn new(horizon: f64) -> Self {
+        Progress {
+            sw: Stopwatch::start(),
+            next_at: 1.0,
+            horizon,
+            samples: 0,
+            rows: 0,
+        }
+    }
+}
+
+impl Observer for Progress {
+    fn on_sample(&mut self, sample: &ClockSample) {
+        self.samples += 1;
+        let elapsed = self.sw.elapsed_secs();
+        if elapsed >= self.next_at {
+            eprintln!(
+                "[xp] t={:.3}/{:.3} s sim | {} samples, {} rows | {elapsed:.1} s wall",
+                sample.t.as_secs(),
+                self.horizon,
+                self.samples,
+                self.rows,
+            );
+            self.next_at = elapsed + 1.0;
+        }
+    }
+
+    fn on_row(&mut self, _row: &ftgcs_sim::trace::Row) {
+        self.rows += 1;
+    }
+
+    fn on_finish(&mut self, stats: &ftgcs_sim::engine::SimStats) {
+        let elapsed = self.sw.elapsed_secs();
+        let rate = if elapsed > 0.0 {
+            stats.events as f64 / elapsed
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[xp] done: {} events in {elapsed:.2} s wall ({rate:.0} events/s)",
+            stats.events
+        );
     }
 }
 
@@ -70,10 +171,13 @@ pub fn run_text(label: &str, text: &str) -> Result<(), String> {
 /// scenario. Samples go (decimated by `csv_stride`) to
 /// `results/<name>_samples.csv`; the skew summary and row counts go to
 /// stdout and `results/<name>_summary.csv`. Memory stays O(nodes).
-fn streaming_run(label: &str, file: &SpecFile) -> Result<(), String> {
+fn streaming_run(label: &str, file: &SpecFile, opts: &RunOptions) -> Result<(), String> {
     let spec = &file.scenario;
     let params = spec.params().map_err(|e| format!("{label}: {e}"))?;
-    let scenario = Scenario::from_spec(spec).map_err(|e| format!("{label}: {e}"))?;
+    let mut scenario = Scenario::from_spec(spec).map_err(|e| format!("{label}: {e}"))?;
+    if opts.telemetry.is_some() {
+        scenario.telemetry(true);
+    }
     let horizon = spec.duration.resolve(&params);
     let nodes = scenario.cluster_graph().physical().node_count();
     let mask = FaultMask::from_nodes(nodes, &scenario.faulty_nodes());
@@ -89,12 +193,25 @@ fn streaming_run(label: &str, file: &SpecFile) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", samples_path.display()))?;
     let mut skew = SkewStream::new(mask).with_warmup(warm);
     let mut rows = RowCounter::new();
-    let stats = {
-        let mut fan = Fanout::new(vec![&mut csv, &mut skew, &mut rows]);
-        scenario.run_streaming(horizon, &mut fan)
+    let mut progress = opts.progress.then(|| Progress::new(horizon));
+    let (stats, telemetry) = {
+        let mut sinks: Vec<&mut dyn Observer> = vec![&mut csv, &mut skew, &mut rows];
+        if let Some(p) = progress.as_mut() {
+            sinks.push(p);
+        }
+        let mut fan = Fanout::new(sinks);
+        scenario.run_streaming_telemetry(horizon, &mut fan)
     };
     csv.finish()
         .map_err(|e| format!("{}: {e}", samples_path.display()))?;
+    if let Some(report_path) = &opts.telemetry {
+        let mut json = telemetry.to_json();
+        json.push('\n');
+        std::fs::write(report_path, json).map_err(|e| format!("{}: {e}", report_path.display()))?;
+        // Stderr, like the heartbeat: stdout stays byte-identical with
+        // and without the flag.
+        eprintln!("[telemetry report written to {}]", report_path.display());
+    }
 
     let mut summary = Table::new(&["quantity", "value"]);
     summary.row(&["nodes".into(), nodes.to_string()]);
@@ -206,18 +323,30 @@ pub fn sweep_file(path: &Path, axes: &[SweepAxis]) -> Result<(), String> {
             let _ = write!(cell_text, "\n{} {}", axis.key, value);
             cell_values.push(value.clone());
         }
-        let file = SpecFile::parse(&cell_text)
-            .map_err(|e| format!("cell {}: {e}", cell_values.join("/")))?;
+        let cell_name = cell_values.join("/");
+        let file = SpecFile::parse(&cell_text).map_err(|e| format!("cell {cell_name}: {e}"))?;
         let spec = &file.scenario;
         let params = spec
             .params()
-            .map_err(|e| format!("cell {}: {e}", cell_values.join("/")))?;
-        let scenario = Scenario::from_spec(spec)
-            .map_err(|e| format!("cell {}: {e}", cell_values.join("/")))?;
+            .map_err(|e| format!("cell {cell_name}: {e}"))?;
+        let scenario = Scenario::from_spec(spec).map_err(|e| format!("cell {cell_name}: {e}"))?;
         let nodes = scenario.cluster_graph().physical().node_count();
         let mask = FaultMask::from_nodes(nodes, &scenario.faulty_nodes());
         let mut skew = SkewStream::new(mask).with_warmup(5.0 * params.t_round);
+        let sw = Stopwatch::start();
         let stats = scenario.run_streaming(spec.duration.resolve(&params), &mut skew);
+        let wall = sw.elapsed_secs();
+        // Per-cell progress goes to stderr so stdout (and the sweep
+        // CSV) stays byte-identical with pre-telemetry builds.
+        let rate = if wall > 0.0 {
+            stats.events as f64 / wall
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[xp sweep {}/{cells}] {cell_name}: {wall:.2} s wall, {rate:.0} events/s",
+            cell + 1
+        );
 
         let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".into(), |x| format!("{x:.3e}"));
         let mut row = cell_values;

@@ -16,6 +16,7 @@ use ftgcs_sim::node::NodeId;
 use ftgcs_sim::observe::Observer;
 use ftgcs_sim::rng::SimRng;
 use ftgcs_sim::shard::SchedulerKind;
+use ftgcs_sim::telemetry::TelemetryReport;
 use ftgcs_sim::time::{SimDuration, SimTime};
 use ftgcs_sim::trace::Trace;
 use ftgcs_topology::ClusterGraph;
@@ -64,6 +65,7 @@ pub struct Scenario {
     cluster_offsets: Vec<f64>,
     rate_overrides: Vec<(usize, RateModel)>,
     scheduler: SchedulerKind,
+    telemetry: bool,
     /// Where the scenario came from, when built by
     /// [`Scenario::from_spec`]: the pieces a [`ScenarioSpec`] carries
     /// that the runnable scenario itself does not (topology generator,
@@ -122,6 +124,7 @@ impl Scenario {
             cluster_offsets: vec![0.0; cluster_count],
             rate_overrides: Vec::new(),
             scheduler: SchedulerKind::Global,
+            telemetry: false,
             provenance: None,
         }
     }
@@ -451,6 +454,17 @@ impl Scenario {
         self.scheduler(SchedulerKind::Parallel { partition, workers })
     }
 
+    /// Enables or disables runtime telemetry (see
+    /// [`ftgcs_sim::telemetry`]). Strictly a side channel: traces are
+    /// byte-identical on or off (`tests/telemetry_equivalence.rs` pins
+    /// it), and the report comes back from
+    /// [`Scenario::run_streaming_telemetry`] or
+    /// `Simulation::telemetry()` on a hand-built simulation.
+    pub fn telemetry(&mut self, enabled: bool) -> &mut Self {
+        self.telemetry = enabled;
+        self
+    }
+
     /// Enables or disables the global-max estimator.
     pub fn max_estimator(&mut self, enabled: bool) -> &mut Self {
         self.enable_max_estimator = enabled;
@@ -664,6 +678,7 @@ impl Scenario {
             seed: self.seed,
             sample_interval: self.sample_interval,
             scheduler: self.scheduler.clone(),
+            telemetry: self.telemetry,
         };
         let offset_rng = SimRng::seed_from(self.seed).derive("init-offset", 0);
         let mut offsets = offset_rng;
@@ -743,11 +758,23 @@ impl Scenario {
         duration: impl Into<SimDuration>,
         obs: &mut dyn Observer,
     ) -> SimStats {
+        self.run_streaming_telemetry(duration, obs).0
+    }
+
+    /// Like [`Scenario::run_streaming`], but also returns the run's
+    /// [`TelemetryReport`] (all zeros unless [`Scenario::telemetry`]
+    /// enabled recording).
+    pub fn run_streaming_telemetry(
+        &self,
+        duration: impl Into<SimDuration>,
+        obs: &mut dyn Observer,
+    ) -> (SimStats, TelemetryReport) {
         let mut sim = self.build();
         sim.run_until_with(SimTime::ZERO + duration.into(), obs);
         let stats = sim.stats();
         obs.on_finish(&stats);
-        stats
+        let report = sim.telemetry();
+        (stats, report)
     }
 
     /// Runs for the parameter-suggested horizon of this graph's diameter.

@@ -18,6 +18,10 @@ fn fixtures(sub: &str) -> PathBuf {
 /// Every bad fixture with its exact expected `(line, rule)` findings.
 const EXPECTED_BAD: &[(&str, &[(usize, &str)])] = &[
     ("crates/sim/src/wall_clock.rs", &[(4, "no-wall-clock")]),
+    (
+        "crates/sim/src/telemetry_in_dispatch.rs",
+        &[(6, "no-wall-clock")],
+    ),
     ("crates/sim/src/os_rng.rs", &[(4, "no-os-rng")]),
     (
         "crates/core/src/hash_order.rs",
@@ -93,10 +97,10 @@ fn every_good_fixture_passes() {
         "good fixtures must be clean, got:\n{}",
         report.render()
     );
-    // All ten good fixtures were actually visited (one per rule, the
-    // bench-scoped hash/print counterexamples, and the clean
-    // fault-lifecycle file).
-    assert_eq!(report.files_scanned, 10);
+    // All eleven good fixtures were actually visited (one per rule,
+    // the bench-scoped hash/print counterexamples, the clean
+    // fault-lifecycle file, and the pragma'd telemetry side channel).
+    assert_eq!(report.files_scanned, 11);
 }
 
 /// The CLI contract CI relies on: exit 0 on clean trees, exit 1 with

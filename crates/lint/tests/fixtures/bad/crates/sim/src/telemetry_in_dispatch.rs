@@ -1,0 +1,9 @@
+//! Bad: phase timing taken inside the dispatch hot path by reading the
+//! host clock directly, instead of routing through the telemetry side
+//! channel's pragma'd `Stamp`.
+
+pub fn dispatch_event(pending: usize) -> u128 {
+    let t0 = std::time::Instant::now();
+    let _ = pending;
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,23 @@
+//! Good: the telemetry side channel confines host-clock reads behind
+//! scoped pragmas — every `Instant` site carries an allow with a
+//! reason, mirroring the real `crates/sim/src/telemetry.rs`.
+
+/// An opaque wall-clock stamp; callers never name `Instant`.
+pub struct Stamp(
+    std::time::Instant, // ftgcs-lint: allow(no-wall-clock) -- telemetry side channel: wall time never feeds simulated time
+);
+
+impl Stamp {
+    /// Takes a reading.
+    #[must_use]
+    pub fn now() -> Self {
+        // ftgcs-lint: allow(no-wall-clock) -- telemetry side channel: measures host elapsed time only
+        Stamp(std::time::Instant::now())
+    }
+
+    /// Seconds elapsed since the stamp was taken.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}

@@ -37,6 +37,7 @@ use crate::shard::{
     resolve_workers, tie_for_engine, tie_for_node, Entry, Key, Partition, SchedulerKind, Shard,
     ShardQueue,
 };
+use crate::telemetry::{Phase, Telemetry, TelemetryReport};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{ClockSample, Row, Trace};
 
@@ -57,6 +58,10 @@ pub struct SimConfig {
     /// conservative lookahead, or the same shards on a worker-thread
     /// pool. Never changes a run's result — only its throughput.
     pub scheduler: SchedulerKind,
+    /// Record runtime telemetry (see [`crate::telemetry`]). Strictly a
+    /// side channel: traces are byte-identical on or off, and the
+    /// disabled path costs one predictable branch per counter site.
+    pub telemetry: bool,
 }
 
 impl Default for SimConfig {
@@ -68,6 +73,7 @@ impl Default for SimConfig {
             seed: 0,
             sample_interval: None,
             scheduler: SchedulerKind::Global,
+            telemetry: false,
         }
     }
 }
@@ -289,20 +295,23 @@ impl NodeState {
         }
     }
 
-    fn cancel_timer(&mut self, timer: TimerId) {
+    /// Returns whether a live timer was actually cancelled (stale
+    /// handles and double-cancels are no-ops).
+    fn cancel_timer(&mut self, timer: TimerId) -> bool {
         let id = timer.id;
         if id >= self.timer_slots.len() || !self.timer_slots[id].active {
-            return;
+            return false;
         }
         // A handle outliving its timer must not cancel an unrelated
         // timer that reused the slot: the epoch pins the handle to the
         // exact timer it was issued for.
         if self.timer_slots[id].epoch != timer.epoch {
-            return;
+            return false;
         }
         self.timer_slots[id].active = false;
         self.unlink_timer(id);
         self.timer_free.push(id);
+        true
     }
 
     /// Retires a timer whose heap entry just fired: O(1), no allocation.
@@ -352,11 +361,13 @@ pub(crate) struct NodeCell<M> {
 }
 
 /// Engine data shared read-only by every dispatch (worker or serial):
-/// the configuration and the communication graph. Mutated only between
+/// the configuration, the communication graph, and the telemetry side
+/// channel (interior-mutable — all atomics). Mutated only between
 /// [`Simulation::run_until`] calls.
 pub(crate) struct SimShared {
     pub(crate) config: SimConfig,
     pub(crate) adjacency: Vec<Vec<NodeId>>,
+    pub(crate) telemetry: Telemetry,
 }
 
 /// Where a dispatch pushes the events it creates.
@@ -602,6 +613,7 @@ impl<M: Clone> Ctx<'_, M> {
         let id = self.install_timer_slot(slot);
         self.state.track_timers[track.index()].push(id);
         self.schedule_timer_entry(id);
+        self.shared.telemetry.timer_set(self.node);
         TimerId {
             id,
             epoch: self.state.timer_slots[id].epoch,
@@ -634,6 +646,7 @@ impl<M: Clone> Ctx<'_, M> {
         let id = self.install_timer_slot(slot);
         self.state.newtonian_timers.push(id);
         self.schedule_timer_entry(id);
+        self.shared.telemetry.timer_set(self.node);
         TimerId {
             id,
             epoch: self.state.timer_slots[id].epoch,
@@ -667,7 +680,11 @@ impl<M: Clone> Ctx<'_, M> {
     /// lifecycle behaviors: a crashed node must not drag its dead
     /// timers through the event queue for the rest of the run.
     pub fn cancel_all_timers(&mut self) -> usize {
-        self.state.cancel_all_timers()
+        let cancelled = self.state.cancel_all_timers();
+        self.shared
+            .telemetry
+            .timers_cancelled(self.node, cancelled as u64);
+        cancelled
     }
 
     /// Drops every clock track except [`TrackId::MAIN`], which survives
@@ -699,7 +716,9 @@ impl<M: Clone> Ctx<'_, M> {
     /// Cancels a pending timer; cancelling an already-fired or cancelled
     /// timer is a no-op.
     pub fn cancel_timer(&mut self, timer: TimerId) {
-        self.state.cancel_timer(timer);
+        if self.state.cancel_timer(timer) {
+            self.shared.telemetry.timers_cancelled(self.node, 1);
+        }
     }
 
     fn send_with(&mut self, to: NodeId, msg: M, staged: bool) {
@@ -711,6 +730,7 @@ impl<M: Clone> Ctx<'_, M> {
             .sample(from, to, &mut self.state.delay_rng);
         let time = self.now + delay;
         let tie = self.state.next_tie(from);
+        self.shared.telemetry.message_queued(from, to);
         self.queue
             .push(to, time, tie, Pending::Message { from, to, msg }, staged);
     }
@@ -804,6 +824,7 @@ pub(crate) fn run_event<M: Clone>(
             // new one from the callback.
             cell.state.retire_fired_timer(id);
             stats.timers += 1;
+            shared.telemetry.timer_fired(node);
             let mut behavior = cell.behavior.take().expect("behavior present");
             {
                 let mut ctx = Ctx {
@@ -821,6 +842,7 @@ pub(crate) fn run_event<M: Clone>(
         }
         Pending::Message { from, msg, .. } => {
             stats.messages += 1;
+            shared.telemetry.message_delivered(node);
             let mut behavior = cell.behavior.take().expect("behavior present");
             {
                 let mut ctx = Ctx {
@@ -999,6 +1021,20 @@ impl<M: Clone> SimBuilder<M> {
                 EventStore::Parallel(ParQueue::new(partition, resolved))
             }
         };
+        // The telemetry side channel needs its own node → shard map so
+        // counter sites can attribute work without reaching into the
+        // store (workers hold the store's shards exclusively).
+        let telemetry = if self.config.telemetry {
+            let (shard_of, nshards) = match &self.config.scheduler {
+                SchedulerKind::Global => (vec![0u32; n], 1),
+                SchedulerKind::Sharded(p) | SchedulerKind::Parallel { partition: p, .. } => {
+                    (p.shard_map().to_vec(), p.shard_count())
+                }
+            };
+            Telemetry::new(shard_of, nshards)
+        } else {
+            Telemetry::disabled()
+        };
         let root = SimRng::seed_from(self.config.seed);
         let cells = self
             .behaviors
@@ -1037,6 +1073,7 @@ impl<M: Clone> SimBuilder<M> {
             shared: SimShared {
                 config: self.config,
                 adjacency: self.adjacency,
+                telemetry,
             },
             cells,
             store,
@@ -1098,6 +1135,32 @@ impl<M> Simulation<M> {
     #[must_use]
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Snapshot of the runtime telemetry recorded so far (see
+    /// [`crate::telemetry`]). Always callable: when the simulation was
+    /// built with `telemetry: false` the report is all zeros and says
+    /// `enabled: false`.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetryReport {
+        let (scheduler, workers, queue, planned) = match &self.store {
+            EventStore::Serial(q) => {
+                let label = match self.shared.config.scheduler {
+                    SchedulerKind::Global => "global",
+                    _ => "sharded",
+                };
+                (label, None, Some(q.stats()), None)
+            }
+            EventStore::Parallel(pq) => (
+                "parallel",
+                Some(pq.workers),
+                None,
+                Some(pq.planned_events.as_slice()),
+            ),
+        };
+        self.shared
+            .telemetry
+            .report(scheduler, workers, self.stats, queue, planned)
     }
 
     /// The trace recorded so far.
@@ -1276,13 +1339,18 @@ impl<M: Clone + Send + 'static> Simulation<M> {
         obs: &mut dyn Observer,
     ) -> Result<(), RunError> {
         self.start_if_needed(obs);
-        match self.store {
+        // Whole-run wall clock (telemetry side channel; inert stamp
+        // when telemetry is off).
+        let t0 = self.shared.telemetry.stamp();
+        let result = match self.store {
             EventStore::Serial(_) => {
                 self.run_serial(until, obs);
                 Ok(())
             }
             EventStore::Parallel(_) => self.run_parallel(until, obs),
-        }
+        };
+        self.shared.telemetry.phase(Phase::Total, t0);
+        result
     }
 
     fn run_serial(&mut self, until: SimTime, obs: &mut dyn Observer) {
@@ -1309,6 +1377,7 @@ impl<M: Clone + Send + 'static> Simulation<M> {
             stats.events += 1;
             match pending {
                 Pending::Sample => {
+                    shared.telemetry.sample_dispatched();
                     take_sample(cells, time, obs);
                     // Re-arm unconditionally: events beyond `until` stay
                     // queued, so sampling continues across consecutive
@@ -1322,6 +1391,7 @@ impl<M: Clone + Send + 'static> Simulation<M> {
                 }
                 pending => {
                     let node = pending.owner().expect("timer/message has an owner");
+                    shared.telemetry.event_dispatched(node);
                     run_event(
                         &mut cells[node.index()],
                         node,
@@ -1404,6 +1474,7 @@ mod tests {
             seed: 42,
             sample_interval: None,
             scheduler: SchedulerKind::Global,
+            telemetry: false,
         }
     }
 

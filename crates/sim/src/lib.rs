@@ -66,6 +66,7 @@ pub mod observe;
 pub mod par;
 pub mod rng;
 pub mod shard;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -75,5 +76,6 @@ pub use network::{DelayConfig, DelayDistribution};
 pub use node::{Behavior, NodeId, TimerId, TimerTag, TrackId};
 pub use rng::SimRng;
 pub use shard::{Partition, SchedulerKind, ShardQueue};
+pub use telemetry::{Stopwatch, TelemetryReport};
 pub use time::{SimDuration, SimTime};
 pub use trace::{ClockSample, Row, Trace};

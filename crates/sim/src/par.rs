@@ -121,6 +121,7 @@ use crate::engine::{
 use crate::node::NodeId;
 use crate::observe::Observer;
 use crate::shard::{shard_adjacency, Entry, Key, Partition, Shard};
+use crate::telemetry::Phase;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Row;
 
@@ -265,20 +266,23 @@ impl<M> Inbox<M> {
         self.min_time_bits.store(min_bits, Ordering::Release);
     }
 
-    /// Moves all staged arrivals into `shard`'s bulk-merge inbox.
-    fn drain_into(&self, shard: &mut Shard<Pending<M>>) {
+    /// Moves all staged arrivals into `shard`'s bulk-merge inbox,
+    /// returning how many entries moved (telemetry: merge batching).
+    fn drain_into(&self, shard: &mut Shard<Pending<M>>) -> usize {
         let mut guard = self.buf.lock().expect("inbox poisoned");
         let buf = &mut *guard;
         if buf.entries.is_empty() {
-            return;
+            return 0;
         }
         if buf.min < shard.inbox_min {
             shard.inbox_min = buf.min;
         }
+        let moved = buf.entries.len();
         shard.inbox.append(&mut buf.entries);
         buf.min = Key::max();
         self.min_time_bits
             .store(f64::INFINITY.to_bits(), Ordering::Release);
+        moved
     }
 
     /// The staged minimum's time, lock-free (front scans only).
@@ -801,6 +805,12 @@ impl<M: Clone + Send + 'static> Simulation<M> {
                 for &s in &order {
                     let s = s as usize;
                     if shard_due(s, &pool) {
+                        // The sole inline executor is worker 0, and the
+                        // single-bin deal plans every due shard for it —
+                        // record the claim so dealt + stolen still sums
+                        // to the executed shard-windows.
+                        let dealt = pool.planned[s].load(Ordering::Relaxed) == 0;
+                        pool.shared.telemetry.claim(0, dealt);
                         advance_shard(s, pool, &mut outbox);
                     }
                 }
@@ -816,7 +826,8 @@ impl<M: Clone + Send + 'static> Simulation<M> {
         // Arrivals staged after a shard's last window (all beyond the
         // final caps) survive into the next run_until call.
         for (s, inbox) in inboxes.iter().enumerate() {
-            inbox.drain_into(&mut pq.shards[s]);
+            let drained = inbox.drain_into(&mut pq.shards[s]);
+            shared.telemetry.inbox_merged(s, drained as u64);
         }
         match result {
             Ok(()) => {
@@ -906,8 +917,13 @@ impl Windows<'_> {
         mut run_window: impl FnMut(),
     ) -> Result<(), RunError> {
         let nshards = pool.tasks.len();
+        let tel = &pool.shared.telemetry;
         let mut ran_window = false;
         loop {
+            // Telemetry phase clock: collect + scan + row emission +
+            // samples are the coordinator's "merge" work. Inert stamps
+            // when telemetry is off.
+            let t_merge = tel.stamp();
             // Collect the previous window's results: merge the relaxed
             // row buffers into the pending buffer and account per-shard
             // event deltas to the cost model and the deal record.
@@ -966,6 +982,7 @@ impl Windows<'_> {
                 }
                 self.pending_samples.swap_remove(idx);
                 self.stats.events += 1;
+                tel.sample_dispatched();
                 // SAFETY: workers are parked at the gate; the
                 // coordinator is the only thread touching node state.
                 take_sample(unsafe { pool.cells.all() }, ts, self.obs);
@@ -974,22 +991,32 @@ impl Windows<'_> {
                 }
             }
 
-            let Some(tm) = t_min else { break };
+            let Some(tm) = t_min else {
+                tel.phase(Phase::Merge, t_merge);
+                break;
+            };
             if tm > self.until {
+                tel.phase(Phase::Merge, t_merge);
                 break;
             }
+            tel.phase(Phase::Merge, t_merge);
 
             // Solve per-shard horizons and deal shards to executors;
             // fails (cleanly, workers parked) if the lookahead has
             // vanished below the f64 ulp at this magnitude.
-            if let Err(err) = self.plan_window(&pool, tm) {
+            let t_barrier = tel.stamp();
+            let planned = self.plan_window(&pool, tm);
+            tel.phase(Phase::Barrier, t_barrier);
+            if let Err(err) = planned {
                 // Everything processed so far is real — flush it so the
                 // partial trace survives the error.
                 self.emit_rows_below(time_inf());
                 return Err(err);
             }
             ran_window = true;
+            let t_exec = tel.stamp();
             run_window();
+            tel.phase(Phase::Execute, t_exec);
         }
         // Run complete: every pending event is beyond `until`, so all
         // buffered rows are final.
@@ -1052,6 +1079,7 @@ impl Windows<'_> {
         // at this magnitude and every future window would be empty.
         let next_sample = earliest_sample(self.pending_samples).map(|(_, ts)| ts);
         let mut progress = false;
+        let mut horizon_span = 0.0f64;
         self.order.clear();
         for s in 0..nshards {
             let mut cap = inf;
@@ -1074,6 +1102,10 @@ impl Windows<'_> {
             pool.caps[s].store(time_to_bits(cap), Ordering::Relaxed);
             self.planned_of[s] = u32::MAX;
             if self.m[s] < cap && self.m[s] <= self.until {
+                // Due shard: `cap − m` is the horizon this window
+                // grants it (both finite here — a finite front clamps
+                // its own cap).
+                horizon_span += cap.as_secs() - self.m[s].as_secs();
                 self.order.push(s as u32);
             }
         }
@@ -1083,6 +1115,9 @@ impl Windows<'_> {
                 lookahead: self.lookahead,
             });
         }
+        pool.shared
+            .telemetry
+            .window_planned(self.order.len() as u64, horizon_span);
 
         // Deal-out: due shards, heaviest estimated cost first, each to
         // the currently lightest bin (ties to the lowest worker). The
@@ -1128,11 +1163,13 @@ fn shard_due<M>(s: usize, pool: &Pool<'_, M>) -> bool {
 }
 
 /// Claims shard `s` for this window and advances it; no-ops if the
-/// shard is idle or another executor holds the claim.
+/// shard is idle or another executor holds the claim. `me` identifies
+/// the claiming executor for the telemetry dealt/stolen record.
 fn try_claim_advance<M: Clone + Send>(
     s: usize,
     pool: Pool<'_, M>,
     outbox: &mut [Vec<Entry<Pending<M>>>],
+    me: u32,
 ) {
     if !shard_due(s, &pool) {
         return;
@@ -1149,6 +1186,11 @@ fn try_claim_advance<M: Clone + Send>(
     {
         return;
     }
+    // Won the claim: record whether this shard was dealt to us or
+    // stolen. A pure side-channel write — the claim outcome itself is
+    // machine-dependent, the dealt/stolen *sum* is not.
+    let dealt = pool.planned[s].load(Ordering::Relaxed) == me;
+    pool.shared.telemetry.claim(me as usize, dealt);
     advance_shard(s, pool, outbox);
 }
 
@@ -1180,14 +1222,14 @@ fn worker_loop<M: Clone + Send>(worker: usize, nshards: usize, gate: &Gate, spin
             // plan), claimed so a stealing peer cannot double-run them.
             for s in 0..nshards {
                 if pool.planned[s].load(Ordering::Relaxed) == me {
-                    try_claim_advance(s, *pool, &mut outbox);
+                    try_claim_advance(s, *pool, &mut outbox, me);
                 }
             }
             // Pass 2: steal — sweep every shard still unclaimed, so an
             // executor that finished its plan early drains stragglers
             // instead of idling at the barrier.
             for s in 0..nshards {
-                try_claim_advance(s, *pool, &mut outbox);
+                try_claim_advance(s, *pool, &mut outbox, me);
             }
             flush_outbox(&mut outbox, pool.inboxes);
         }));
@@ -1219,9 +1261,12 @@ fn advance_shard<M: Clone + Send>(
     outbox: &mut [Vec<Entry<Pending<M>>>],
 ) {
     let cap = pool.cap(s);
+    let tel = &pool.shared.telemetry;
+    tel.shard_window(s);
     let mut task = pool.tasks[s].lock().expect("task poisoned");
     let task = &mut *task;
-    pool.inboxes[s].drain_into(&mut task.shard);
+    let drained = pool.inboxes[s].drain_into(&mut task.shard);
+    tel.inbox_merged(s, drained as u64);
     loop {
         let head = task.shard.head_key();
         if head == Key::max() || head.time >= cap || head.time > pool.until {
@@ -1235,6 +1280,7 @@ fn advance_shard<M: Clone + Send>(
             .payload
             .owner()
             .expect("samples never enter shard heaps");
+        tel.event_dispatched(node);
         debug_assert_eq!(
             pool.shard_of[node.index()] as usize,
             s,

@@ -389,6 +389,9 @@ impl<T> std::fmt::Debug for Shard<T> {
 pub struct QueueStats {
     /// Inbox → heap bulk merges performed (lookahead barriers crossed).
     pub merges: u64,
+    /// Entries moved by those merges (telemetry: how much the staging
+    /// path batches).
+    pub merged_entries: u64,
     /// Shard re-selections (ends of fast-path runs).
     pub reselects: u64,
 }
@@ -690,6 +693,7 @@ impl<T> ShardQueue<T> {
         let s = &mut self.shards[self.selected];
         if !s.inbox.is_empty() {
             self.stats.merges += 1;
+            self.stats.merged_entries += s.inbox.len() as u64;
             s.merge_inbox();
         }
         let e = s.heap.pop().expect("peeked key implies a queued event");

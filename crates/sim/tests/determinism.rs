@@ -49,6 +49,7 @@ fn config(seed: u64) -> SimConfig {
         seed,
         sample_interval: Some(SimDuration::from_millis(250.0)),
         scheduler: ftgcs_sim::shard::SchedulerKind::Global,
+        telemetry: false,
     }
 }
 

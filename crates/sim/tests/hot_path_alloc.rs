@@ -100,6 +100,10 @@ impl Behavior<u8> for PhaseNode {
 }
 
 fn build(nodes: usize) -> ftgcs_sim::engine::Simulation<u8> {
+    build_with(nodes, false)
+}
+
+fn build_with(nodes: usize, telemetry: bool) -> ftgcs_sim::engine::Simulation<u8> {
     let config = SimConfig {
         delay: DelayConfig::new(
             SimDuration::from_millis(1.0),
@@ -113,6 +117,7 @@ fn build(nodes: usize) -> ftgcs_sim::engine::Simulation<u8> {
         seed: 3,
         sample_interval: None,
         scheduler: SchedulerKind::Sharded(Partition::by_blocks(nodes, 4)),
+        telemetry,
     };
     let mut b = SimBuilder::new(config);
     let ids: Vec<NodeId> = (0..nodes)
@@ -173,5 +178,30 @@ fn steady_state_event_loop_does_not_allocate() {
         window_allocs < 16,
         "hot path allocated {window_allocs} times over {window_events} \
          events — a per-event allocation crept back in"
+    );
+
+    // Telemetry is a fixed-size block of relaxed atomics allocated at
+    // build time: with the counters *enabled*, the steady-state window
+    // must still be allocation-free — the side channel may never put a
+    // per-event allocation on the hot path.
+    let mut sim = build_with(8, true);
+    sim.run_until(SimTime::from_secs(20.0));
+    let events_before = sim.stats().events;
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    sim.run_until(SimTime::from_secs(40.0));
+    COUNTING.store(false, Ordering::SeqCst);
+
+    let window_allocs = ALLOCS.load(Ordering::SeqCst);
+    let window_events = sim.stats().events - events_before;
+    assert!(
+        window_events > 10_000,
+        "telemetry window too small to be meaningful: {window_events} events"
+    );
+    assert!(
+        window_allocs < 16,
+        "telemetry-enabled hot path allocated {window_allocs} times over \
+         {window_events} events — the side channel must not allocate per event"
     );
 }

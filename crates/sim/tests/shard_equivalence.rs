@@ -143,6 +143,7 @@ fn config(seed: u64, scheduler: SchedulerKind, adversarial: bool) -> SimConfig {
         seed,
         sample_interval: Some(SimDuration::from_millis(100.0)),
         scheduler,
+        telemetry: false,
     }
 }
 

@@ -151,6 +151,7 @@ proptest! {
             seed,
             sample_interval: None,
             scheduler: SchedulerKind::Sharded(partition.clone()),
+            telemetry: false,
         };
         let log = Arc::new(Mutex::new(DeliveryLog::default()));
         let mut b = SimBuilder::new(config);

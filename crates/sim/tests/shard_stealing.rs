@@ -67,6 +67,7 @@ fn config(seed: u64, scheduler: SchedulerKind) -> SimConfig {
         seed,
         sample_interval: Some(SimDuration::from_millis(50.0)),
         scheduler,
+        telemetry: false,
     }
 }
 

@@ -8,17 +8,23 @@
 #
 # The vendored criterion stand-in prints one line per benchmark:
 #     <group>/<label>: median <ns> ns/iter (<n> samples)
-# and the bench itself prints deterministic load-balance lines:
+# and the bench itself prints two kinds of deterministic lines:
+#     events/<group>/<label>: <n> events
 #     balance/<workload>/worker<w>: share <s> (<dealt> of <total> dealt, ...)
-# Both are parsed here (awk; no jq dependency) into a single JSON file.
-# The balance shares are machine-independent (they record the
-# coordinator's dealt plan, not the steal race), so the JSON's balance
-# block is stable across machines; medians are hardware-dependent and
-# recorded for trend context only.
+# All three are parsed here (awk; no jq dependency) into a single JSON
+# file. The event counts and balance shares are machine-independent
+# (they record the engine's deterministic dispatch and the coordinator's
+# dealt plan, not the steal race); medians are hardware-dependent and
+# recorded for trend context. Each result row gains an
+# `events_per_sec` field (events x 1e9 / median_ns) — a machine-local
+# throughput figure. When the checked-in baseline already carries
+# `events_per_sec` entries, a >2x throughput drop on any group fails
+# the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_shard_scaling.json
+baseline=BENCH_shard_scaling.json
 smoke=0
 if [ "${1:-}" = "--smoke" ]; then
     smoke=1
@@ -26,7 +32,21 @@ if [ "${1:-}" = "--smoke" ]; then
 fi
 
 raw=$(mktemp /tmp/bench_shard_scaling.XXXXXX.raw)
-trap 'rm -f "$raw"' EXIT
+base_eps=$(mktemp /tmp/bench_shard_scaling.XXXXXX.base)
+trap 'rm -f "$raw" "$base_eps"' EXIT
+
+# Snapshot the baseline's events_per_sec entries BEFORE the (non-smoke)
+# run overwrites the file: `<group>/<label> <events_per_sec>` per line.
+if [ -f "$baseline" ]; then
+    awk '
+    /"group"/ && /"events_per_sec"/ {
+        g = $0; sub(/.*"group": "/, "", g);  sub(/".*/, "", g)
+        l = $0; sub(/.*"label": "/, "", l);  sub(/".*/, "", l)
+        e = $0; sub(/.*"events_per_sec": /, "", e); sub(/[,}].*/, "", e)
+        print g "/" l, e
+    }
+    ' "$baseline" > "$base_eps"
+fi
 
 # FTGCS_WORKERS would override every parallel axis (and the pinned
 # balance run); benches must see the machine as-is.
@@ -49,6 +69,12 @@ BEGIN {
     medians_n[nresults] = substr($5, 2)
     nresults++
 }
+# events/<group>/<label>: <n> events
+/^events\// {
+    split($1, path, "/")
+    gsub(":", "", path[3])
+    events[path[2] "/" path[3]] = $2
+}
 # balance/<workload>/worker<w>: share <s> (<dealt> of <total> dealt, ...)
 /^balance\// {
     split($1, path, "/")
@@ -66,11 +92,17 @@ END {
     printf "{\n"
     printf "  \"bench\": \"shard_scaling\",\n"
     printf "  \"smoke\": %s,\n", (smoke ? "true" : "false")
-    printf "  \"note\": \"medians are machine-dependent; balance shares are the deterministic dealt plan (must stay < 0.6 per worker)\",\n"
+    printf "  \"note\": \"medians and events_per_sec are machine-dependent; event counts and balance shares are deterministic (share < 0.6 per worker, events_per_sec may not drop 2x vs baseline)\",\n"
     printf "  \"results\": [\n"
     for (i = 0; i < nresults; i++) {
-        printf "    {\"group\": \"%s\", \"label\": \"%s\", \"median_ns\": %s, \"samples\": %s}%s\n", \
-            medians_group[i], medians_label[i], medians_ns[i], medians_n[i], (i < nresults - 1 ? "," : "")
+        key = medians_group[i] "/" medians_label[i]
+        eps = ""
+        if (key in events && medians_ns[i] > 0) {
+            eps = sprintf(", \"events\": %s, \"events_per_sec\": %.1f", \
+                events[key], events[key] * 1e9 / medians_ns[i])
+        }
+        printf "    {\"group\": \"%s\", \"label\": \"%s\", \"median_ns\": %s, \"samples\": %s%s}%s\n", \
+            medians_group[i], medians_label[i], medians_ns[i], medians_n[i], eps, (i < nresults - 1 ? "," : "")
     }
     printf "  ],\n"
     printf "  \"balance\": [\n"
@@ -89,6 +121,36 @@ echo "bench.sh: wrote $out (worst dealt share: ${worst:-n/a})"
 if [ -n "$worst" ] && awk -v w="$worst" 'BEGIN { exit !(w >= 0.6) }'; then
     echo "bench.sh: FAIL — a worker was dealt ${worst} >= 0.6 of all events" >&2
     exit 1
+fi
+
+# Throughput gate: if the checked-in baseline recorded events_per_sec,
+# no group may have dropped to less than half of it. First landings
+# (baseline without the field) skip the gate.
+if [ -s "$base_eps" ]; then
+    awk -v base_file="$base_eps" '
+    BEGIN {
+        while ((getline line < base_file) > 0) {
+            split(line, f, " ")
+            base[f[1]] = f[2]
+        }
+        fails = 0
+    }
+    /"group"/ && /"events_per_sec"/ {
+        g = $0; sub(/.*"group": "/, "", g);  sub(/".*/, "", g)
+        l = $0; sub(/.*"label": "/, "", l);  sub(/".*/, "", l)
+        e = $0; sub(/.*"events_per_sec": /, "", e); sub(/[,}].*/, "", e)
+        key = g "/" l
+        if (key in base && base[key] > 0 && e + 0 < base[key] / 2) {
+            printf "bench.sh: FAIL — %s throughput %.0f events/s is under half the baseline %.0f\n", \
+                key, e, base[key] > "/dev/stderr"
+            fails++
+        }
+    }
+    END { exit fails > 0 }
+    ' "$out" || exit 1
+    echo "bench.sh: throughput within 2x of baseline for every group"
+else
+    echo "bench.sh: no events_per_sec in baseline — throughput gate skipped"
 fi
 if [ "$smoke" = 1 ]; then
     echo "bench.sh: smoke mode — JSON left at $out (not checked in)"
