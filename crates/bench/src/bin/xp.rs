@@ -2,7 +2,9 @@
 //!
 //! ```sh
 //! xp run <spec-file> [--telemetry <out.json>] [--progress]
-//! xp sweep <spec-file> key=v1,v2 …  # cartesian sweep over spec keys
+//! xp sweep <spec-file> key=v1,v2 … [--parallel [--jobs N]]
+//! xp serve --addr 127.0.0.1:PORT [--jobs N] [--cache DIR] [--queue N]
+//! xp run-cell [--row] [--dir D]     # child half of the executor (spec on stdin)
 //! xp list [dir]                     # validate + list specs (default: experiments/)
 //! ```
 //!
@@ -17,17 +19,25 @@
 //! `ftgcs-telemetry-v1`); `--progress` adds a stderr heartbeat. Both
 //! leave stdout, the CSVs, and the simulated trace byte-identical.
 //!
+//! `sweep --parallel` runs cells as `xp run-cell` child processes over
+//! a bounded job pool with a content-addressed result cache
+//! (`results/cache/`, override with `FTGCS_CACHE_DIR`); stdout stays
+//! byte-identical to the sequential sweep. `xp serve` exposes the same
+//! executor as a long-running HTTP results service (see
+//! EXPERIMENTS.md, "Sweep service").
+//!
 //! ```sh
 //! cargo run --release -p ftgcs-bench --bin xp -- run experiments/f1_cluster_convergence.spec
 //! cargo run --release -p ftgcs-bench --bin xp -- run experiments/long_line_demo.spec --telemetry results/long_line_demo_telemetry.json
-//! cargo run --release -p ftgcs-bench --bin xp -- sweep experiments/long_line_demo.spec seed=1,2,3
+//! cargo run --release -p ftgcs-bench --bin xp -- sweep experiments/long_line_demo.spec seed=1,2,3 --parallel --jobs 4
+//! cargo run --release -p ftgcs-bench --bin xp -- serve --addr 127.0.0.1:7171
 //! ```
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ftgcs_bench::driver::{self, RunOptions, SweepAxis};
+use ftgcs_bench::driver::{self, RunOptions, SweepAxis, SweepOptions};
 use ftgcs_sim::telemetry::alloc_probe;
 
 /// Feeds every heap allocation this process makes into the telemetry
@@ -64,7 +74,9 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "usage:
   xp run <spec-file> [--telemetry <out.json>] [--progress]
-  xp sweep <spec-file> key=v1,v2[,…] [key=…]
+  xp sweep <spec-file> key=v1,v2[,…] [key=…] [--parallel [--jobs N]]
+  xp serve --addr <host:port> [--jobs N] [--cache <dir>] [--queue N]
+  xp run-cell [--row] [--dir <dir>]   (spec text on stdin)
   xp list [dir]        (default dir: experiments)";
 
 /// Parses `xp run`'s operands: the spec path plus optional
@@ -97,6 +109,91 @@ fn parse_run(args: &[String]) -> Result<(PathBuf, RunOptions), String> {
     Ok((spec, opts))
 }
 
+/// Parses `xp sweep`'s trailing operands: `key=v1,v2` axes mixed with
+/// the optional `--parallel` / `--jobs N` flags.
+fn parse_sweep(args: &[String]) -> Result<(Vec<SweepAxis>, SweepOptions), String> {
+    let mut axes = Vec::new();
+    let mut opts = SweepOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--parallel" => opts.parallel = true,
+            "--jobs" => {
+                opts.jobs = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--jobs needs a positive integer\n{USAGE}"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}\n{USAGE}"));
+            }
+            axis => axes.push(SweepAxis::parse(axis)?),
+        }
+    }
+    if axes.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok((axes, opts))
+}
+
+/// Parses `xp serve`'s operands.
+fn parse_serve(args: &[String]) -> Result<(String, usize, Option<PathBuf>, usize), String> {
+    let mut addr: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut cache: Option<PathBuf> = None;
+    let mut queue = 64usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--jobs needs a positive integer\n{USAGE}"))?;
+            }
+            "--cache" => cache = Some(PathBuf::from(value("--cache")?)),
+            "--queue" => {
+                queue = value("--queue")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--queue needs a positive integer\n{USAGE}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("serve needs --addr <host:port>\n{USAGE}"))?;
+    Ok((addr, jobs, cache, queue))
+}
+
+/// Parses `xp run-cell`'s operands.
+fn parse_run_cell(args: &[String]) -> Result<(bool, Option<PathBuf>), String> {
+    let mut row = false;
+    let mut dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--row" => row = true,
+            "--dir" => {
+                let d = it
+                    .next()
+                    .ok_or_else(|| format!("--dir needs a directory\n{USAGE}"))?;
+                dir = Some(PathBuf::from(d));
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok((row, dir))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -104,13 +201,15 @@ fn main() -> ExitCode {
             parse_run(&args[1..]).and_then(|(spec, opts)| driver::run_file_with(&spec, &opts))
         }
         Some("sweep") => match args.get(1) {
-            Some(path) if args.len() >= 3 => args[2..]
-                .iter()
-                .map(|a| SweepAxis::parse(a))
-                .collect::<Result<Vec<_>, _>>()
-                .and_then(|axes| driver::sweep_file(Path::new(path), &axes)),
+            Some(path) if args.len() >= 3 => parse_sweep(&args[2..])
+                .and_then(|(axes, opts)| driver::sweep_file_with(Path::new(path), &axes, &opts)),
             _ => Err(USAGE.to_string()),
         },
+        Some("serve") => parse_serve(&args[1..]).and_then(|(addr, jobs, cache, queue)| {
+            driver::serve_cmd(&addr, jobs, cache.as_deref(), queue)
+        }),
+        Some("run-cell") => parse_run_cell(&args[1..])
+            .and_then(|(row, dir)| driver::run_cell_cmd(row, dir.as_deref())),
         Some("list") => {
             let dir = args.get(1).map_or("experiments", String::as_str);
             match args.len() {

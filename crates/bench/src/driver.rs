@@ -4,10 +4,20 @@
 //! [`crate::spec::SpecFile`]). Three entry points share this module:
 //!
 //! * `xp run <file>` — [`run_file`];
-//! * `xp sweep <file> key=v1,v2 …` — [`sweep_file`];
+//! * `xp sweep <file> key=v1,v2 …` — [`sweep_file`] (add `--parallel`
+//!   and the cells run as `xp run-cell` child processes through
+//!   [`ftgcs_serve`]'s bounded job pool, with a content-addressed
+//!   result cache — stdout stays byte-identical to the in-process
+//!   sweep);
 //! * the legacy `{a,f,t}*` binaries, each of which `include_str!`s its
 //!   checked-in spec and calls [`run_text`] — so the legacy CSVs and
 //!   the `xp`-driven ones are byte-identical by construction.
+//!
+//! [`run_cell_cmd`] is the child half of the multi-process executor and
+//! [`serve_cmd`] is the `xp serve` results service; both reuse the same
+//! spec → run machinery, so a cell computed by a child process, by the
+//! service, or in-process is byte-identical (the determinism contract:
+//! a run is a pure function of its canonical spec text).
 //!
 //! A spec that names an `analysis` dispatches into [`crate::exp`]; a
 //! spec without one is a **streaming run**: the scenario is executed
@@ -23,6 +33,7 @@ use ftgcs::runner::Scenario;
 use ftgcs_metrics::skew::FaultMask;
 use ftgcs_metrics::stream::{CsvSampleWriter, RowCounter, SkewStream};
 use ftgcs_metrics::table::Table;
+use ftgcs_serve::{run_indexed, CellKey, CellRequest, CellRunner, ResultStore, ServeConfig};
 use ftgcs_sim::observe::{Fanout, Observer};
 use ftgcs_sim::trace::ClockSample;
 use ftgcs_sim::Stopwatch;
@@ -271,6 +282,120 @@ impl SweepAxis {
     }
 }
 
+/// How a sweep executes its cells.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// `--parallel`: run cells as `xp run-cell --row` child processes
+    /// through the bounded job pool, with the content-addressed result
+    /// cache consulted first. Stdout is byte-identical to the
+    /// sequential in-process sweep.
+    pub parallel: bool,
+    /// `--jobs N`: concurrent cell processes (parallel mode only).
+    pub jobs: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            parallel: false,
+            jobs: 2,
+        }
+    }
+}
+
+/// One expanded sweep cell: the base text with the axis substitutions
+/// appended, already parsed.
+struct SweepCell {
+    name: String,
+    values: Vec<String>,
+    file: SpecFile,
+}
+
+/// What one measured cell contributes: the six table fields plus the
+/// raw numbers behind the stderr progress lines.
+struct CellMeasurement {
+    fields: [String; 6],
+    events: u64,
+    wall: f64,
+}
+
+/// Measures one sweep cell in-process: the cell's scenario streamed
+/// through a [`SkewStream`] (no per-cell samples CSV — a sweep's
+/// product is its summary). Shared verbatim by the sequential sweep
+/// and the `run-cell --row` child, which is what makes the parallel
+/// sweep's merged output byte-identical.
+fn measure_cell(file: &SpecFile) -> Result<CellMeasurement, String> {
+    let spec = &file.scenario;
+    let params = spec.params().map_err(|e| e.to_string())?;
+    let scenario = Scenario::from_spec(spec).map_err(|e| e.to_string())?;
+    let nodes = scenario.cluster_graph().physical().node_count();
+    let mask = FaultMask::from_nodes(nodes, &scenario.faulty_nodes());
+    let mut skew = SkewStream::new(mask).with_warmup(5.0 * params.t_round);
+    let sw = Stopwatch::start();
+    let stats = scenario.run_streaming(spec.duration.resolve(&params), &mut skew);
+    let wall = sw.elapsed_secs();
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.3e}"));
+    Ok(CellMeasurement {
+        fields: [
+            nodes.to_string(),
+            stats.events.to_string(),
+            stats.messages.to_string(),
+            fmt_opt(skew.max()),
+            fmt_opt(skew.mean()),
+            fmt_opt(skew.quantile(0.99)),
+        ],
+        events: stats.events,
+        wall,
+    })
+}
+
+/// The per-cell stderr progress line (stderr only, so stdout and the
+/// sweep CSV stay byte-identical across modes and with older builds).
+fn cell_stderr(k: usize, cells: usize, name: &str, wall: f64, events: u64, cached: bool) {
+    let rate = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    let suffix = if cached { " (cached)" } else { "" };
+    eprintln!("[xp sweep {k}/{cells}] {name}: {wall:.2} s wall, {rate:.0} events/s{suffix}");
+}
+
+/// Serializes one measured cell as the `run-cell --row` wire line:
+/// tab-separated wall (full-precision), events, then the six table
+/// fields. [`parse_row_tsv`] is the inverse.
+fn row_tsv(m: &CellMeasurement) -> String {
+    let mut line = format!("{}\t{}", m.wall, m.events);
+    for field in &m.fields {
+        line.push('\t');
+        line.push_str(field);
+    }
+    line.push('\n');
+    line
+}
+
+/// Parses a [`row_tsv`] line back into `(wall, events, fields)`.
+fn parse_row_tsv(line: &str) -> Result<(f64, u64, Vec<String>), String> {
+    let parts: Vec<&str> = line.trim_end_matches('\n').split('\t').collect();
+    if parts.len() != 8 {
+        return Err(format!(
+            "malformed row from run-cell child ({} of 8 fields)",
+            parts.len()
+        ));
+    }
+    let wall = parts[0]
+        .parse::<f64>()
+        .map_err(|e| format!("bad wall clock {:?}: {e}", parts[0]))?;
+    let events = parts[1]
+        .parse::<u64>()
+        .map_err(|e| format!("bad event count {:?}: {e}", parts[1]))?;
+    Ok((
+        wall,
+        events,
+        parts[2..].iter().map(ToString::to_string).collect(),
+    ))
+}
+
 /// Runs the cartesian product of the axes over a base spec file.
 ///
 /// Each cell re-parses the base text with one `key value` line appended
@@ -283,6 +408,22 @@ impl SweepAxis {
 ///
 /// Returns a human-readable message on the first cell that fails.
 pub fn sweep_file(path: &Path, axes: &[SweepAxis]) -> Result<(), String> {
+    sweep_file_with(path, axes, &SweepOptions::default())
+}
+
+/// [`sweep_file`] with explicit [`SweepOptions`]. With
+/// `opts.parallel`, cells run as `xp run-cell --row` children over the
+/// bounded job pool: every cell is expanded and canonicalized up
+/// front, results are delivered (and printed) in cell order, crashed
+/// children are retried (byte-identical by determinism), and finished
+/// rows are kept in the content-addressed cache so a repeated sweep
+/// spawns nothing.
+///
+/// # Errors
+///
+/// Returns a human-readable message on the first (by cell index)
+/// failing cell; parallel mode still runs every cell before reporting.
+pub fn sweep_file_with(path: &Path, axes: &[SweepAxis], opts: &SweepOptions) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let base = SpecFile::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
     if base.analysis.is_some() {
@@ -314,54 +455,22 @@ pub fn sweep_file(path: &Path, axes: &[SweepAxis]) -> Result<(), String> {
         cells,
         axes.len()
     );
+
+    // Expand and parse every cell up front (odometer over the axes), so
+    // both modes validate identically before any cell runs.
+    let mut expanded = Vec::with_capacity(cells);
     let mut index = vec![0usize; axes.len()];
-    for cell in 0..cells {
+    for _ in 0..cells {
         let mut cell_text = text.clone();
-        let mut cell_values = Vec::with_capacity(axes.len());
+        let mut values = Vec::with_capacity(axes.len());
         for (a, axis) in axes.iter().enumerate() {
             let value = &axis.values[index[a]];
             let _ = write!(cell_text, "\n{} {}", axis.key, value);
-            cell_values.push(value.clone());
+            values.push(value.clone());
         }
-        let cell_name = cell_values.join("/");
-        let file = SpecFile::parse(&cell_text).map_err(|e| format!("cell {cell_name}: {e}"))?;
-        let spec = &file.scenario;
-        let params = spec
-            .params()
-            .map_err(|e| format!("cell {cell_name}: {e}"))?;
-        let scenario = Scenario::from_spec(spec).map_err(|e| format!("cell {cell_name}: {e}"))?;
-        let nodes = scenario.cluster_graph().physical().node_count();
-        let mask = FaultMask::from_nodes(nodes, &scenario.faulty_nodes());
-        let mut skew = SkewStream::new(mask).with_warmup(5.0 * params.t_round);
-        let sw = Stopwatch::start();
-        let stats = scenario.run_streaming(spec.duration.resolve(&params), &mut skew);
-        let wall = sw.elapsed_secs();
-        // Per-cell progress goes to stderr so stdout (and the sweep
-        // CSV) stays byte-identical with pre-telemetry builds.
-        let rate = if wall > 0.0 {
-            stats.events as f64 / wall
-        } else {
-            0.0
-        };
-        eprintln!(
-            "[xp sweep {}/{cells}] {cell_name}: {wall:.2} s wall, {rate:.0} events/s",
-            cell + 1
-        );
-
-        let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".into(), |x| format!("{x:.3e}"));
-        let mut row = cell_values;
-        row.extend([
-            nodes.to_string(),
-            stats.events.to_string(),
-            stats.messages.to_string(),
-            fmt_opt(skew.max()),
-            fmt_opt(skew.mean()),
-            fmt_opt(skew.quantile(0.99)),
-        ]);
-        table.row(&row);
-        println!("[{}/{cells}] done", cell + 1);
-
-        // Odometer increment over the axes.
+        let name = values.join("/");
+        let file = SpecFile::parse(&cell_text).map_err(|e| format!("cell {name}: {e}"))?;
+        expanded.push(SweepCell { name, values, file });
         for a in (0..axes.len()).rev() {
             index[a] += 1;
             if index[a] < axes[a].values.len() {
@@ -370,9 +479,212 @@ pub fn sweep_file(path: &Path, axes: &[SweepAxis]) -> Result<(), String> {
             index[a] = 0;
         }
     }
+
+    let total_sw = Stopwatch::start();
+    let mut total_events: u64 = 0;
+    if opts.parallel {
+        let runner = CellRunner {
+            binary: std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+            retries: 2,
+        };
+        let store = ResultStore::from_env();
+        let mut first_err: Option<String> = None;
+        run_indexed(
+            cells,
+            opts.jobs,
+            |k| {
+                let cell = &expanded[k];
+                let key = cell_key(&cell.file, CellKind::SweepRow);
+                if store.is_done(&key) {
+                    if let Ok(line) = store.read(&key, "row.tsv") {
+                        if let Ok(line) = String::from_utf8(line) {
+                            return Ok((line, true));
+                        }
+                    }
+                }
+                let outcome = runner
+                    .run_cell(&["--row"], &cell.file.print(), None)
+                    .map_err(|e| format!("cell {}: {e}", cell.name))?;
+                if let Ok(staging) = store.begin(&key) {
+                    if std::fs::write(staging.dir().join("row.tsv"), &outcome.stdout).is_ok() {
+                        let _ = staging.publish();
+                    } else {
+                        staging.discard();
+                    }
+                }
+                Ok((outcome.stdout, false))
+            },
+            |k, result| {
+                // Delivered in cell order on this thread, which is what
+                // keeps stdout byte-identical to the sequential sweep.
+                if first_err.is_some() {
+                    return;
+                }
+                let cell = &expanded[k];
+                match result {
+                    Ok((line, cached)) => match parse_row_tsv(line) {
+                        Ok((wall, events, fields)) => {
+                            cell_stderr(k + 1, cells, &cell.name, wall, events, *cached);
+                            total_events += events;
+                            let mut row = cell.values.clone();
+                            row.extend(fields);
+                            table.row(&row);
+                            println!("[{}/{cells}] done", k + 1);
+                        }
+                        Err(e) => first_err = Some(format!("cell {}: {e}", cell.name)),
+                    },
+                    Err(e) => first_err = Some(e.clone()),
+                }
+            },
+        );
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+    } else {
+        for (k, cell) in expanded.iter().enumerate() {
+            let m = measure_cell(&cell.file).map_err(|e| format!("cell {}: {e}", cell.name))?;
+            cell_stderr(k + 1, cells, &cell.name, m.wall, m.events, false);
+            total_events += m.events;
+            let mut row = cell.values.clone();
+            row.extend(m.fields);
+            table.row(&row);
+            println!("[{}/{cells}] done", k + 1);
+        }
+    }
     println!();
     emit_table(&format!("{}_sweep", base.scenario.name), &table);
+    let total_wall = total_sw.elapsed_secs();
+    let rate = if total_wall > 0.0 {
+        total_events as f64 / total_wall
+    } else {
+        0.0
+    };
+    eprintln!("[xp sweep] {cells} cell(s) in {total_wall:.2} s wall, {rate:.0} events/s aggregate");
     Ok(())
+}
+
+/// What a cached cell produced, folded into its content hash so a
+/// sweep row and a full run of the same spec never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellKind {
+    /// One sweep-row measurement (`run-cell --row` → `row.tsv`).
+    SweepRow,
+    /// A full run (`run-cell --dir` → stdout, CSVs, telemetry).
+    Run,
+}
+
+/// The content-addressed cache key of one cell: a format-version tag,
+/// the output kind, and the spec's canonical printing. Formatting-only
+/// spec edits leave the key unchanged; any semantic change moves it.
+#[must_use]
+pub fn cell_key(file: &SpecFile, kind: CellKind) -> CellKey {
+    let tag = match kind {
+        CellKind::SweepRow => "row",
+        CellKind::Run => "run",
+    };
+    CellKey::from_parts(&["ftgcs-cell-v1", tag, &file.print()])
+}
+
+/// Test hook: when `FTGCS_RUN_CELL_CRASH_ONCE` names a path that does
+/// not exist yet, the child creates it, emits some partial stdout, and
+/// aborts — a deterministic stand-in for an OOM-killed or crashed cell.
+/// The retry then finds the marker and runs normally, letting tests
+/// pin that a crashed cell is re-run and that its partial output never
+/// reaches the merged results.
+fn crash_once_hook() {
+    let Ok(marker) = std::env::var("FTGCS_RUN_CELL_CRASH_ONCE") else {
+        return;
+    };
+    if marker.is_empty() || Path::new(&marker).exists() {
+        return;
+    }
+    if std::fs::write(&marker, b"crashed\n").is_ok() {
+        println!("partial output from a crashing cell");
+        std::process::abort();
+    }
+}
+
+/// Implements `xp run-cell`, the child half of the multi-process
+/// executor: reads one spec text from **stdin** and either measures a
+/// sweep row (`--row`, one [`row_tsv`] line on stdout) or performs a
+/// full run (optionally `--dir <staging>`: chdir there first, so every
+/// relative artifact — `results/*.csv`, `telemetry.json` — lands in
+/// the staging directory the parent will publish).
+///
+/// # Errors
+///
+/// Returns a human-readable message on parse or execution failure;
+/// `--row` additionally rejects `analysis` specs (sweeps stream).
+pub fn run_cell_cmd(row: bool, dir: Option<&Path>) -> Result<(), String> {
+    let mut text = String::new();
+    std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+        .map_err(|e| format!("reading spec from stdin: {e}"))?;
+    crash_once_hook();
+    let file = SpecFile::parse(&text).map_err(|e| format!("run-cell: {e}"))?;
+    if row {
+        if file.analysis.is_some() {
+            return Err("run-cell --row: sweep cells cannot name an `analysis`".into());
+        }
+        let m = measure_cell(&file).map_err(|e| format!("run-cell: {e}"))?;
+        print!("{}", row_tsv(&m));
+        return Ok(());
+    }
+    if let Some(dir) = dir {
+        std::env::set_current_dir(dir).map_err(|e| format!("chdir {}: {e}", dir.display()))?;
+    }
+    let opts = if file.analysis.is_some() {
+        // Analyses drive their own grids; telemetry/progress flags are
+        // streaming-runner-only (run_text_with rejects the combination).
+        RunOptions::default()
+    } else {
+        RunOptions {
+            telemetry: Some(PathBuf::from("telemetry.json")),
+            progress: true,
+        }
+    };
+    run_text_with("run-cell", &text, &opts)
+}
+
+/// Implements `xp serve`: the results service, parameterized with the
+/// spec-format bridge ([`SpecFile::parse`] → canonical print → cache
+/// key) that `ftgcs_serve` itself deliberately knows nothing about.
+///
+/// # Errors
+///
+/// Returns a message if the listener cannot bind.
+pub fn serve_cmd(
+    addr: &str,
+    jobs: usize,
+    cache: Option<&Path>,
+    queue_capacity: usize,
+) -> Result<(), String> {
+    let store = match cache {
+        Some(dir) => ResultStore::new(dir),
+        None => ResultStore::from_env(),
+    };
+    let runner = CellRunner {
+        binary: std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+        retries: 2,
+    };
+    let canonicalize = |text: &str| -> Result<CellRequest, String> {
+        let file = SpecFile::parse(text).map_err(|e| format!("spec: {e}"))?;
+        Ok(CellRequest {
+            key: cell_key(&file, CellKind::Run),
+            name: file.scenario.name.clone(),
+            canonical: file.print(),
+            analysis: file.analysis.clone(),
+        })
+    };
+    ftgcs_serve::serve(
+        ServeConfig {
+            addr: addr.to_string(),
+            jobs,
+            queue_capacity,
+            store,
+            runner,
+        },
+        &canonicalize,
+    )
 }
 
 /// Validates and lists every `*.spec` under `dir`, sorted by file name.

@@ -83,6 +83,31 @@ impl SpecFile {
         })
     }
 
+    /// Canonical text rendering: the scenario's own canonical
+    /// [`ScenarioSpec::print`] followed by the driver keys (only when
+    /// they differ from their defaults).
+    ///
+    /// Like the core printer, this is an exact inverse of [`parse`]
+    /// (`SpecFile::parse(&f.print()) == Ok(f)`), which makes the
+    /// printing a complete serialization of the experiment:
+    /// `ftgcs_serve` keys its result cache by this text, so two spec
+    /// files that differ only in comments, whitespace, or (for scalar
+    /// last-wins keys) line order share one cache entry, while any
+    /// semantic change produces a different key.
+    ///
+    /// [`parse`]: SpecFile::parse
+    #[must_use]
+    pub fn print(&self) -> String {
+        let mut out = self.scenario.print();
+        if let Some(name) = &self.analysis {
+            out.push_str(&format!("analysis {name}\n"));
+        }
+        if self.csv_stride != 1 {
+            out.push_str(&format!("csv_stride {}\n", self.csv_stride));
+        }
+        out
+    }
+
     /// Parameter set implied by the spec's environment, with a
     /// **different** fault budget `f` (and the default `k = 3f + 1`) —
     /// the grid axis most analyses sweep while keeping the spec's
@@ -143,6 +168,25 @@ mod tests {
     fn line_numbers_survive_driver_key_stripping() {
         let err = SpecFile::parse("name x\nanalysis demo\ntopology line 2\nbogus 1\n").unwrap_err();
         assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn print_is_an_exact_inverse_of_parse() {
+        let f = SpecFile::parse(
+            "name x  # comment\n\ntopology ring 3\nanalysis f1_cluster_convergence\n\
+             csv_stride 4\nseed 9\n",
+        )
+        .unwrap();
+        let printed = f.print();
+        assert_eq!(SpecFile::parse(&printed).unwrap(), f);
+        assert!(printed.contains("analysis f1_cluster_convergence\n"));
+        assert!(printed.contains("csv_stride 4\n"));
+        // Default driver keys are omitted from the canonical form.
+        let plain = SpecFile::parse("name y\ntopology line 2\n").unwrap();
+        let printed = plain.print();
+        assert!(!printed.contains("analysis"));
+        assert!(!printed.contains("csv_stride"));
+        assert_eq!(SpecFile::parse(&printed).unwrap(), plain);
     }
 
     #[test]

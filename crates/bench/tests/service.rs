@@ -1,0 +1,303 @@
+//! End-to-end tests of the distributed sweep executor and the results
+//! service, driving the real `xp` binary:
+//!
+//! * `xp sweep --parallel` must produce **byte-identical** stdout and
+//!   sweep CSV to the sequential in-process sweep;
+//! * a `run-cell` child that crashes mid-cell must be retried, with
+//!   the merged output still byte-identical (retries are safe because
+//!   a cell is a pure function of its canonical spec text);
+//! * `xp serve` must run a submitted spec to completion, serve back
+//!   CSVs byte-identical to an in-process `xp run`, and answer a
+//!   repeated submission entirely from the content-addressed cache —
+//!   zero new cell processes.
+
+use std::io::{BufRead as _, Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn xp() -> &'static str {
+    env!("CARGO_BIN_EXE_xp")
+}
+
+fn spec_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../experiments")
+        .join(name)
+}
+
+/// A fresh scratch directory, unique per test and per process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftgcs_service_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn sweep(cwd: &Path, cache: &Path, extra: &[&str]) -> std::process::Output {
+    std::fs::create_dir_all(cwd).expect("sweep cwd");
+    Command::new(xp())
+        .current_dir(cwd)
+        .env("FTGCS_CACHE_DIR", cache)
+        .arg("sweep")
+        .arg(spec_path("smoke.spec"))
+        .arg("seed=1,2,3")
+        .args(extra)
+        .output()
+        .expect("xp sweep")
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let dir = scratch("par_eq");
+    let seq = sweep(&dir.join("seq"), &dir.join("seq_cache"), &[]);
+    assert!(
+        seq.status.success(),
+        "{}",
+        String::from_utf8_lossy(&seq.stderr)
+    );
+    let par = sweep(
+        &dir.join("par"),
+        &dir.join("cache"),
+        &["--parallel", "--jobs", "2"],
+    );
+    assert!(
+        par.status.success(),
+        "{}",
+        String::from_utf8_lossy(&par.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&seq.stdout),
+        String::from_utf8_lossy(&par.stdout),
+        "parallel sweep stdout diverged from sequential"
+    );
+    assert_eq!(
+        std::fs::read(dir.join("seq/results/smoke_sweep.csv")).expect("sequential sweep CSV"),
+        std::fs::read(dir.join("par/results/smoke_sweep.csv")).expect("parallel sweep CSV"),
+        "merged sweep CSV diverged"
+    );
+    // The stderr progress channel: per-cell [k/N] indices plus the
+    // final wall-clock / aggregate throughput summary, in both modes.
+    for err in [
+        String::from_utf8_lossy(&seq.stderr),
+        String::from_utf8_lossy(&par.stderr),
+    ] {
+        assert!(err.contains("[xp sweep 1/3]"), "{err}");
+        assert!(err.contains("[xp sweep 3/3]"), "{err}");
+        assert!(err.contains("events/s aggregate"), "{err}");
+    }
+
+    // A repeated parallel sweep is served from the cache ((cached)
+    // markers on stderr) and still byte-identical on stdout.
+    let again = sweep(
+        &dir.join("par2"),
+        &dir.join("cache"),
+        &["--parallel", "--jobs", "2"],
+    );
+    assert!(again.status.success());
+    assert_eq!(seq.stdout, again.stdout);
+    assert!(
+        String::from_utf8_lossy(&again.stderr).contains("(cached)"),
+        "repeat sweep did not hit the cache: {}",
+        String::from_utf8_lossy(&again.stderr)
+    );
+}
+
+#[test]
+fn crashed_cell_is_retried_with_identical_output() {
+    let dir = scratch("crash");
+    let seq = sweep(&dir.join("seq"), &dir.join("seq_cache"), &[]);
+    assert!(seq.status.success());
+
+    let marker = dir.join("crash_once_marker");
+    std::fs::create_dir_all(dir.join("par")).expect("par cwd");
+    let par = Command::new(xp())
+        .current_dir(dir.join("par"))
+        .env("FTGCS_CACHE_DIR", dir.join("cache"))
+        .env("FTGCS_RUN_CELL_CRASH_ONCE", &marker)
+        .arg("sweep")
+        .arg(spec_path("smoke.spec"))
+        .arg("seed=1,2,3")
+        .args(["--parallel", "--jobs", "2"])
+        .output()
+        .expect("xp sweep");
+    assert!(
+        par.status.success(),
+        "{}",
+        String::from_utf8_lossy(&par.stderr)
+    );
+    assert!(
+        marker.is_file(),
+        "no run-cell child actually took the crash path"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&seq.stdout),
+        String::from_utf8_lossy(&par.stdout),
+        "crash + retry changed the merged sweep stdout"
+    );
+    assert_eq!(
+        std::fs::read(dir.join("seq/results/smoke_sweep.csv")).expect("sequential sweep CSV"),
+        std::fs::read(dir.join("par/results/smoke_sweep.csv")).expect("parallel sweep CSV"),
+        "crash + retry changed the merged sweep CSV"
+    );
+}
+
+/// Kills the serve child if a test assertion fires before shutdown.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// One HTTP exchange: `request` is `"METHOD /path"`. Returns the
+/// status code and the body.
+fn http(addr: &str, request: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to xp serve");
+    let (method, path) = request.split_once(' ').expect("request is METHOD /path");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream.write_all(body).expect("send body");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read reply");
+    let split = reply
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("reply has a header/body split");
+    let head = std::str::from_utf8(&reply[..split]).expect("reply head is UTF-8");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("unparseable status line in {head:?}"));
+    (status, reply[split + 4..].to_vec())
+}
+
+/// Pulls `"field": "value"` out of the service's JSON.
+fn json_str(body: &str, field: &str) -> String {
+    let tag = format!("\"{field}\": \"");
+    let start = body
+        .find(&tag)
+        .unwrap_or_else(|| panic!("no {field} in {body}"))
+        + tag.len();
+    body[start..]
+        .split('"')
+        .next()
+        .expect("closing quote")
+        .to_string()
+}
+
+#[test]
+fn serve_runs_submissions_and_answers_repeats_from_cache() {
+    let dir = scratch("serve");
+    let mut child = Command::new(xp())
+        .current_dir(&dir)
+        .env("FTGCS_CACHE_DIR", dir.join("cache"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn xp serve");
+    let stdout = child.stdout.take().expect("serve stdout piped");
+    let mut guard = KillOnDrop(child);
+    // The reader must outlive the test body: dropping the pipe would
+    // make the server's own stdout writes fail.
+    let mut server_stdout = std::io::BufReader::new(stdout);
+    let mut announce = String::new();
+    server_stdout
+        .read_line(&mut announce)
+        .expect("serve announce line");
+    let addr = announce
+        .trim()
+        .strip_prefix("xp serve: listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line {announce:?}"))
+        .to_string();
+
+    // In-process reference for byte-comparison.
+    let ref_dir = dir.join("reference");
+    std::fs::create_dir_all(&ref_dir).expect("reference dir");
+    let status = Command::new(xp())
+        .current_dir(&ref_dir)
+        .arg("run")
+        .arg(spec_path("smoke.spec"))
+        .stdout(Stdio::null())
+        .status()
+        .expect("xp run");
+    assert!(status.success());
+
+    let spec_text = std::fs::read_to_string(spec_path("smoke.spec")).expect("smoke.spec");
+    let (code, body) = http(&addr, "POST /submit", spec_text.as_bytes());
+    assert_eq!(code, 202, "{}", String::from_utf8_lossy(&body));
+    let body = String::from_utf8(body).expect("submit reply is UTF-8");
+    let job = json_str(&body, "job");
+    assert_eq!(json_str(&body, "state"), "queued");
+
+    let mut state = String::new();
+    for _ in 0..600 {
+        let (code, body) = http(&addr, &format!("GET /status/{job}"), b"");
+        assert_eq!(code, 200);
+        state = String::from_utf8(body).expect("status reply is UTF-8");
+        match json_str(&state, "state").as_str() {
+            "done" => break,
+            "failed" => panic!("job failed: {state}"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    assert_eq!(
+        json_str(&state, "state"),
+        "done",
+        "job never finished: {state}"
+    );
+
+    // Artifacts: the samples CSV byte-identical to the in-process run,
+    // and the telemetry report in the machine-readable schema.
+    let (code, csv) = http(&addr, &format!("GET /result/{job}/smoke_samples.csv"), b"");
+    assert_eq!(code, 200);
+    assert_eq!(
+        csv,
+        std::fs::read(ref_dir.join("results/smoke_samples.csv")).expect("reference CSV"),
+        "served CSV diverged from the in-process run"
+    );
+    let (code, telemetry) = http(&addr, &format!("GET /result/{job}/telemetry.json"), b"");
+    assert_eq!(code, 200);
+    assert!(
+        String::from_utf8_lossy(&telemetry).contains("ftgcs-telemetry-v1"),
+        "telemetry artifact is not the machine-readable report"
+    );
+    let (code, listing) = http(&addr, &format!("GET /result/{job}"), b"");
+    assert_eq!(code, 200);
+    assert!(String::from_utf8_lossy(&listing).contains("smoke_summary.csv"));
+
+    // Resubmitting the identical spec is answered from the cache:
+    // still exactly one cell process ever spawned.
+    let (code, body) = http(&addr, "POST /submit", spec_text.as_bytes());
+    assert_eq!(code, 200);
+    assert_eq!(
+        json_str(&String::from_utf8(body).expect("UTF-8"), "state"),
+        "done"
+    );
+    let (code, stats) = http(&addr, "GET /stats", b"");
+    assert_eq!(code, 200);
+    let stats = String::from_utf8(stats).expect("stats reply is UTF-8");
+    assert!(stats.contains("\"cells_spawned\": 1"), "{stats}");
+    assert!(stats.contains("\"cache_hits\": 1"), "{stats}");
+
+    // A non-spec body is rejected, not enqueued.
+    let (code, _) = http(&addr, "POST /submit", b"this is not a spec");
+    assert_eq!(code, 400);
+    let (code, _) = http(&addr, "GET /status/not-a-job-id", b"");
+    assert_eq!(code, 400);
+    let (code, _) = http(&addr, "GET /status/0123456789abcdef", b"");
+    assert_eq!(code, 404);
+
+    let (code, _) = http(&addr, "POST /shutdown", b"");
+    assert_eq!(code, 200);
+    let status = guard.0.wait().expect("serve exit status");
+    assert!(status.success(), "serve exited with {status}");
+}

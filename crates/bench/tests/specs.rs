@@ -8,6 +8,7 @@ use std::path::{Path, PathBuf};
 
 use ftgcs::runner::Scenario;
 use ftgcs::spec::ScenarioSpec;
+use ftgcs_bench::driver::{cell_key, CellKind};
 use ftgcs_bench::exp;
 use ftgcs_bench::spec::SpecFile;
 use ftgcs_metrics::skew::{global_skew_series, FaultMask};
@@ -68,6 +69,87 @@ fn every_checked_in_spec_parses_builds_and_round_trips() {
             .to_spec()
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         Scenario::from_spec(&back).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+/// Reformats a spec text without changing its meaning: indentation,
+/// trailing whitespace, blank lines, and comments.
+fn reformat(text: &str) -> String {
+    let mut out = String::from("# reformatted copy — must hash identically\n\n");
+    for line in text.lines() {
+        out.push_str("   ");
+        out.push_str(line);
+        out.push_str("   # trailing comment\n\n");
+    }
+    out
+}
+
+#[test]
+fn cache_keys_are_canonical_and_sensitive() {
+    // Invariance: the cache key is a function of the spec's *meaning*.
+    // Reformatting (whitespace, comments, blank lines) and canonical
+    // re-printing must not move any checked-in spec's key.
+    for (path, file) in checked_in_specs() {
+        let key = cell_key(&file, CellKind::Run);
+        let reprinted = SpecFile::parse(&file.print())
+            .unwrap_or_else(|e| panic!("{}: canonical print must parse: {e}", path.display()));
+        assert_eq!(
+            cell_key(&reprinted, CellKind::Run),
+            key,
+            "{}: canonical reprint moved the cache key",
+            path.display()
+        );
+        let text = std::fs::read_to_string(&path).expect("readable spec");
+        let mangled = SpecFile::parse(&reformat(&text))
+            .unwrap_or_else(|e| panic!("{}: reformatted copy must parse: {e}", path.display()));
+        assert_eq!(
+            cell_key(&mangled, CellKind::Run),
+            key,
+            "{}: whitespace/comment reformatting moved the cache key",
+            path.display()
+        );
+        // A sweep row and a full run of the same spec never share an
+        // entry (they cache different artifacts).
+        assert_ne!(
+            cell_key(&file, CellKind::SweepRow),
+            key,
+            "{}",
+            path.display()
+        );
+    }
+
+    // The smoke spec uses only scalar (last-wins) keys, each once, so
+    // even reordering its lines is meaning-preserving.
+    let smoke = std::fs::read_to_string(experiments_dir().join("smoke.spec")).expect("smoke.spec");
+    let reversed: String = smoke.lines().rev().fold(String::new(), |mut acc, l| {
+        acc.push_str(l);
+        acc.push('\n');
+        acc
+    });
+    let base = SpecFile::parse(&smoke).expect("smoke parses");
+    let reordered = SpecFile::parse(&reversed).expect("reversed smoke parses");
+    assert_eq!(
+        cell_key(&reordered, CellKind::Run),
+        cell_key(&base, CellKind::Run),
+        "scalar-key line order moved the cache key"
+    );
+
+    // Sensitivity: any semantic change must move the key.
+    let key = cell_key(&base, CellKind::Run);
+    let variants = [
+        format!("{smoke}\nseed {}\n", base.scenario.seed + 1),
+        format!("{smoke}\ncluster_size {}\n", base.scenario.cluster_size + 3),
+        format!("{smoke}\nduration 9 rounds\n"),
+        format!("{smoke}\ncsv_stride 7\n"),
+        format!("{smoke}\nanalysis t2_reliability\n"),
+    ];
+    for variant in &variants {
+        let changed = SpecFile::parse(variant).expect("variant parses");
+        assert_ne!(
+            cell_key(&changed, CellKind::Run),
+            key,
+            "semantic change did not move the cache key:\n{variant}"
+        );
     }
 }
 

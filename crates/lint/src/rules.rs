@@ -50,7 +50,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "no-thread-spawn",
-        summary: "only the parallel executor (sim/src/par.rs) may spawn threads; ad-hoc threads bypass the lookahead-barrier protocol",
+        summary: "only the parallel executor (sim/src/par.rs) and the serve infrastructure crate may spawn threads; ad-hoc threads bypass the lookahead-barrier protocol",
     },
     RuleInfo {
         name: "no-print-in-lib",
@@ -88,7 +88,10 @@ pub struct FileCtx {
     /// `src/bin/`) of a library crate. The `bench` CLI crate and the
     /// example/test/bench targets of every crate print legitimately.
     pub lib_source: bool,
-    /// `no-thread-spawn` is waived (exactly `crates/sim/src/par.rs`).
+    /// `no-thread-spawn` is waived: exactly `crates/sim/src/par.rs`
+    /// (simulation fan-out behind the lookahead barrier) and all of
+    /// `crates/serve` (infrastructure threads over OS processes and
+    /// sockets, which never touch simulated state).
     pub spawn_exempt: bool,
 }
 
@@ -296,7 +299,7 @@ pub fn check_source(source: &str, ctx: &FileCtx) -> Vec<Diagnostic> {
         {
             hits.push((
                 "no-thread-spawn",
-                "threads may only be spawned by the parallel executor (crates/sim/src/par.rs)"
+                "threads may only be spawned by the parallel executor (crates/sim/src/par.rs) or the serve infrastructure crate (crates/serve)"
                     .into(),
             ));
         }

@@ -52,7 +52,12 @@ pub fn classify(path: &Path) -> FileCtx {
     let in_lib_target = inside.first() == Some(&"src") && inside.get(1) != Some(&"bin");
     let order_sensitive = crate_name.is_some_and(|c| ORDER_SENSITIVE.contains(&c));
     let lib_source = in_lib_target && crate_name.is_some_and(|c| SILENT_LIBS.contains(&c));
-    let spawn_exempt = crate_name == Some("sim") && inside == ["src", "par.rs"];
+    // Two sanctioned spawn sites: the parallel shard executor (the one
+    // place simulation work may fan out, behind the lookahead barrier)
+    // and the whole of `crates/serve` — infrastructure threads that
+    // manage OS processes and sockets, never simulated events.
+    let spawn_exempt =
+        (crate_name == Some("sim") && inside == ["src", "par.rs"]) || crate_name == Some("serve");
 
     FileCtx {
         crate_name: crate_name.map(str::to_owned),
@@ -113,7 +118,15 @@ mod tests {
         assert!(metrics.lib_source && !metrics.order_sensitive);
 
         let bench = classify(Path::new("crates/bench/src/driver.rs"));
-        assert!(!bench.lib_source && !bench.order_sensitive);
+        assert!(!bench.lib_source && !bench.order_sensitive && !bench.spawn_exempt);
+
+        // All of crates/serve may spawn (process-pool and service
+        // threads), but it stays print-allowed and order-insensitive
+        // like any other non-simulation crate.
+        let serve = classify(Path::new("crates/serve/src/exec.rs"));
+        assert!(serve.spawn_exempt && !serve.lib_source && !serve.order_sensitive);
+        let serve_svc = classify(Path::new("/root/repo/crates/serve/src/service.rs"));
+        assert!(serve_svc.spawn_exempt);
 
         let bin = classify(Path::new("crates/bench/src/bin/xp.rs"));
         assert!(!bin.lib_source);

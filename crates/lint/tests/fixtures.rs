@@ -35,6 +35,10 @@ const EXPECTED_BAD: &[(&str, &[(usize, &str)])] = &[
         "crates/metrics/src/thread_spawn.rs",
         &[(4, "no-thread-spawn")],
     ),
+    (
+        "crates/bench/src/spawn_in_driver.rs",
+        &[(6, "no-thread-spawn")],
+    ),
     ("crates/sim/src/print_in_lib.rs", &[(4, "no-print-in-lib")]),
     (
         "crates/sim/src/unsafe_no_safety.rs",
@@ -97,10 +101,11 @@ fn every_good_fixture_passes() {
         "good fixtures must be clean, got:\n{}",
         report.render()
     );
-    // All eleven good fixtures were actually visited (one per rule,
+    // All twelve good fixtures were actually visited (one per rule,
     // the bench-scoped hash/print counterexamples, the clean
-    // fault-lifecycle file, and the pragma'd telemetry side channel).
-    assert_eq!(report.files_scanned, 11);
+    // fault-lifecycle file, the pragma'd telemetry side channel, and
+    // the serve-crate spawn/print site).
+    assert_eq!(report.files_scanned, 12);
 }
 
 /// The CLI contract CI relies on: exit 0 on clean trees, exit 1 with

@@ -1,0 +1,9 @@
+//! Bad: the driver crate may not spawn threads — multi-process and
+//! multi-thread execution belongs to `crates/serve`'s job pool (and,
+//! for simulation fan-out, `crates/sim/src/par.rs`).
+
+pub fn sneaky_background_work() {
+    std::thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}

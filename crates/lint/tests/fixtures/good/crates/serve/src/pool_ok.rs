@@ -1,0 +1,12 @@
+//! Good: all of `crates/serve` is a sanctioned spawn site — its
+//! threads drive OS processes and sockets (the job pool, the results
+//! service), never simulated events. It is also allowed to print: the
+//! crate is not one of the silent simulation libraries.
+
+pub fn pool_worker() -> std::thread::JoinHandle<()> {
+    println!("spawning a pool worker");
+    std::thread::Builder::new()
+        .name("ftgcs-pool-0".into())
+        .spawn(|| {})
+        .expect("spawn pool worker")
+}

@@ -1,0 +1,116 @@
+//! Content hashing for cells: hand-rolled 64-bit FNV-1a.
+//!
+//! A cell is keyed by its canonical spec printing (plus the driver
+//! keys and an output-kind tag, folded in by the caller as separate
+//! parts). FNV-1a is tiny, dependency-free, and — crucially for a
+//! cache key — a pure function of its input bytes: no per-process
+//! seeding, so the same spec hashes identically across runs, machines,
+//! and processes. Parts are length-prefixed before folding so part
+//! boundaries cannot alias (`["ab", "c"]` and `["a", "bc"]` differ).
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a state.
+fn fold(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Raw 64-bit FNV-1a over one byte string.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    fold(FNV_OFFSET, bytes)
+}
+
+/// A content-derived cell identity: the cache directory name and the
+/// job id served over HTTP.
+///
+/// Renders as 16 lowercase hex digits (`format!("{key}")` /
+/// [`CellKey::hex`]); [`CellKey::parse_hex`] is the exact inverse, so
+/// keys survive the URL round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey(u64);
+
+impl CellKey {
+    /// Hashes a sequence of parts, length-prefixed so boundaries
+    /// cannot alias. Callers fold in, in order: a format-version tag,
+    /// the output kind, and the canonical spec text.
+    #[must_use]
+    pub fn from_parts(parts: &[&str]) -> Self {
+        let mut state = FNV_OFFSET;
+        for part in parts {
+            state = fold(state, &(part.len() as u64).to_le_bytes());
+            state = fold(state, part.as_bytes());
+        }
+        CellKey(state)
+    }
+
+    /// The 16-digit lowercase hex rendering.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the [`CellKey::hex`] rendering back. Rejects anything
+    /// that is not exactly 16 lowercase hex digits, so URL path
+    /// segments cannot smuggle separators into cache paths.
+    #[must_use]
+    pub fn parse_hex(s: &str) -> Option<Self> {
+        if s.len() != 16
+            || !s
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(CellKey)
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn part_boundaries_do_not_alias() {
+        assert_ne!(
+            CellKey::from_parts(&["ab", "c"]),
+            CellKey::from_parts(&["a", "bc"])
+        );
+        assert_ne!(
+            CellKey::from_parts(&["ab"]),
+            CellKey::from_parts(&["ab", ""])
+        );
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_junk() {
+        let key = CellKey::from_parts(&["v1", "row", "name demo\n"]);
+        assert_eq!(CellKey::parse_hex(&key.hex()), Some(key));
+        assert_eq!(key.hex().len(), 16);
+        assert_eq!(CellKey::parse_hex(""), None);
+        assert_eq!(CellKey::parse_hex("xyzw"), None);
+        assert_eq!(CellKey::parse_hex("ABCDEF0123456789"), None); // uppercase
+        assert_eq!(CellKey::parse_hex("../0123456789abc"), None);
+    }
+}
